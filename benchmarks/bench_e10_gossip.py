@@ -1,0 +1,25 @@
+"""E10 (extension) — gossip measured by oracle size, as the conclusion asks.
+
+Regenerates: tree gossip (``Theta(n log n)`` advice, exactly ``2(n - 1)``
+messages) against zero-advice flooding gossip (``Theta(n * m)`` messages)
+across families and sizes.
+"""
+
+from conftest import record_experiment, run_once
+
+from repro.analysis import experiment_e10_gossip, format_experiment
+
+
+def test_e10_gossip(benchmark):
+    result = run_once(
+        benchmark,
+        experiment_e10_gossip,
+        sizes=(8, 16, 32, 64),
+        families=("complete", "gnp_sparse", "random_tree"),
+    )
+    record_experiment(benchmark, result)
+    print()
+    print(format_experiment(result))
+    assert all(r["tree_ok"] and r["flood_ok"] for r in result.rows)
+    assert all(r["tree_msgs"] == r["2(n-1)"] for r in result.rows)
+    assert all(r["flood_msgs"] >= r["tree_msgs"] for r in result.rows)

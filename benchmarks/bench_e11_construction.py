@@ -1,0 +1,25 @@
+"""E11 (extension) — spanning-tree construction measured by oracle size.
+
+Regenerates: the two endpoints of the construction tradeoff — the
+parent-pointer oracle solves the task with zero messages, a DFS token
+rebuilds the same tree for ``Theta(m)`` messages — across families.
+"""
+
+from conftest import record_experiment, run_once
+
+from repro.analysis import experiment_e11_construction, format_experiment
+
+
+def test_e11_construction(benchmark):
+    result = run_once(
+        benchmark,
+        experiment_e11_construction,
+        sizes=(8, 16, 32, 64),
+        families=("complete", "gnp_sparse", "grid"),
+    )
+    record_experiment(benchmark, result)
+    print()
+    print(format_experiment(result))
+    assert all(r["advised_ok"] and r["dfs_ok"] for r in result.rows)
+    assert all(r["advised_msgs"] == 0 for r in result.rows)
+    assert all(r["dfs_msgs"] > r["m"] for r in result.rows)

@@ -1,0 +1,27 @@
+"""E12 (extension) — leader election measured by oracle size.
+
+Regenerates: the three regimes — 1-bit oracle (zero messages), min-id
+flooding (Theta(n*m) messages, ids required), and the anonymous-symmetric
+impossibility on rings.
+"""
+
+from conftest import record_experiment, run_once
+
+from repro.analysis import experiment_e12_election, format_experiment
+
+
+def test_e12_election(benchmark):
+    result = run_once(
+        benchmark,
+        experiment_e12_election,
+        sizes=(8, 16, 32, 64),
+        families=("complete", "gnp_sparse", "cycle"),
+    )
+    record_experiment(benchmark, result)
+    print()
+    print(format_experiment(result))
+    regular = [r for r in result.rows if r["family"] != "ring/anonymous"]
+    anon = [r for r in result.rows if r["family"] == "ring/anonymous"]
+    assert all(r["advised_ok"] and r["minid_ok"] for r in regular)
+    assert all(r["1bit_msgs"] == 0 for r in regular)
+    assert anon and not any(r["minid_ok"] is True for r in anon)

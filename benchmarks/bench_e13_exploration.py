@@ -1,0 +1,23 @@
+"""E13 (extension) — mobile-agent exploration measured by oracle size.
+
+Regenerates: advised memoryless tour at exactly 2(n-1) moves vs zero-advice
+DFS at Theta(m) moves vs budget-bound rotor-router coverage.
+"""
+
+from conftest import record_experiment, run_once
+
+from repro.analysis import experiment_e13_exploration, format_experiment
+
+
+def test_e13_exploration(benchmark):
+    result = run_once(
+        benchmark,
+        experiment_e13_exploration,
+        sizes=(8, 16, 32, 64),
+        families=("complete", "gnp_sparse", "grid"),
+    )
+    record_experiment(benchmark, result)
+    print()
+    print(format_experiment(result))
+    assert all(r["advised_ok"] and r["dfs_ok"] and r["rotor_covered"] for r in result.rows)
+    assert all(r["advised_moves"] == r["2(n-1)"] for r in result.rows)

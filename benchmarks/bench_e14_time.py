@@ -1,0 +1,21 @@
+"""E14 (extension) — time vs oracle content at fixed oracle size.
+
+Regenerates: BFS-tree advice matches flooding's round count at n-1
+messages; DFS-tree advice of the same size class can be ~n times slower —
+oracle content, not just size, picks the efficiency point.
+"""
+
+from conftest import record_experiment, run_once
+
+from repro.analysis import experiment_e14_time, format_experiment
+
+
+def test_e14_time(benchmark):
+    result = run_once(benchmark, experiment_e14_time, n=64)
+    record_experiment(benchmark, result)
+    print()
+    print(format_experiment(result))
+    assert all(r["bfs_ok"] and r["dfs_ok"] for r in result.rows)
+    assert all(r["bfs_rounds"] <= r["flood_rounds"] for r in result.rows)
+    complete = next(r for r in result.rows if r["family"] == "complete")
+    assert complete["dfs_rounds"] == 63 and complete["bfs_rounds"] == 1

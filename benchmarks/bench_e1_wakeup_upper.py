@@ -1,0 +1,24 @@
+"""E1 — Theorem 2.1: wakeup with a linear number of messages.
+
+Regenerates: oracle size vs n across six graph families (the paper's
+``n log n + o(n log n)`` rate) and the exact ``n - 1`` message count.
+"""
+
+from conftest import record_experiment, run_once
+
+from repro.analysis import experiment_e1_wakeup_upper, format_experiment
+
+
+def test_e1_wakeup_upper(benchmark):
+    result = run_once(
+        benchmark, experiment_e1_wakeup_upper, sizes=(16, 32, 64, 128, 256)
+    )
+    record_experiment(benchmark, result)
+    print()
+    print(format_experiment(result))
+    # Paper shape: every run optimal and within the analytic size bound.
+    assert all(r["success"] for r in result.rows)
+    assert all(r["messages"] == r["n-1"] for r in result.rows)
+    assert all(r["oracle_bits"] <= r["bound_bits"] for r in result.rows)
+    # The rate is n log n (constant near 1), not n.
+    assert any("n log n" in f for f in result.findings)

@@ -1,0 +1,26 @@
+"""E2 — Theorem 2.2: wakeup needs Omega(n log n) advice bits.
+
+Regenerates: the Lemma 2.1 adversary certification, the hard-family
+measurements (upper bound tight on the gadgets, baselines quadratic,
+truncated advice strands nodes), and the exact Equations 2-5 bound curves.
+"""
+
+from conftest import record_experiment, run_once
+
+from repro.analysis import experiment_e2_wakeup_lower, format_experiment
+
+
+def test_e2_wakeup_lower(benchmark):
+    result = run_once(
+        benchmark,
+        experiment_e2_wakeup_lower,
+        gadget_sizes=(8, 16, 32, 64),
+        counting_exponents=(10, 16, 22, 28, 34),
+    )
+    record_experiment(benchmark, result)
+    print()
+    print(format_experiment(result))
+    assert all(r["ok"] for r in result.rows)
+    # the counting curve at alpha=0.2 must show growth in forced/node
+    counting = [r for r in result.rows if r["part"] == "counting" and "0.20" in r["detail"]]
+    assert len(counting) >= 2

@@ -1,0 +1,20 @@
+"""E3 — Claim 3.1: a spanning tree of total contribution <= 4n.
+
+Regenerates: the light-tree contribution across families and sizes, against
+the 4n bound and against BFS/DFS trees (which can exceed the light tree,
+though never the bound by much on benign labelings — the light tree is the
+one with the *guarantee*).
+"""
+
+from conftest import record_experiment, run_once
+
+from repro.analysis import experiment_e3_light_tree, format_experiment
+
+
+def test_e3_light_tree(benchmark):
+    result = run_once(benchmark, experiment_e3_light_tree, sizes=(16, 32, 64, 128, 256))
+    record_experiment(benchmark, result)
+    print()
+    print(format_experiment(result))
+    assert all(r["ok"] for r in result.rows)
+    assert all(r["light_tree"] <= r["bfs_tree"] or r["light_tree"] <= r["4n_bound"] for r in result.rows)

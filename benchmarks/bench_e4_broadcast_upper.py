@@ -1,0 +1,23 @@
+"""E4 — Theorem 3.1: broadcast with an O(n)-bit oracle.
+
+Regenerates: oracle size (<= 8n) and Scheme B message count (<= 2(n-1),
+split into n-1 source-message and <= n-1 hello messages) across families.
+"""
+
+from conftest import record_experiment, run_once
+
+from repro.analysis import experiment_e4_broadcast_upper, format_experiment
+
+
+def test_e4_broadcast_upper(benchmark):
+    result = run_once(
+        benchmark, experiment_e4_broadcast_upper, sizes=(16, 32, 64, 128, 256)
+    )
+    record_experiment(benchmark, result)
+    print()
+    print(format_experiment(result))
+    assert all(r["success"] for r in result.rows)
+    assert all(r["messages"] <= r["2(n-1)"] for r in result.rows)
+    assert all(r["oracle_bits"] <= r["8n_bound"] for r in result.rows)
+    assert all(r["M_msgs"] == r["n"] - 1 for r in result.rows)
+    assert any("* n (" in f or "n (rel" in f for f in result.findings)

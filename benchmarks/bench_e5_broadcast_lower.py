@@ -1,0 +1,25 @@
+"""E5 — Theorem 3.2: o(n)-bit oracles cannot broadcast with linear messages.
+
+Regenerates: the adversarial clique classification (external/internal/heavy),
+real runs on the adversarial gadgets (full oracle fine, capped oracle
+starves), and the exact Equations 6-7 bound curves at the paper's
+``q = n/2k`` operating point against the ``n(k-1)/8`` target.
+"""
+
+from conftest import record_experiment, run_once
+
+from repro.analysis import experiment_e5_broadcast_lower, format_experiment
+
+
+def test_e5_broadcast_lower(benchmark):
+    result = run_once(
+        benchmark,
+        experiment_e5_broadcast_lower,
+        n=32,
+        k=4,
+        counting_pairs=((2**16, 2), (2**16, 4), (2**20, 4), (2**24, 4)),
+    )
+    record_experiment(benchmark, result)
+    print()
+    print(format_experiment(result))
+    assert all(r["ok"] for r in result.rows)

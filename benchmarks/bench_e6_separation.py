@@ -1,0 +1,28 @@
+"""E6 — the headline: wakeup vs broadcast advice, Theta(n log n) vs Theta(n).
+
+Regenerates the separation series — oracle sizes for both tasks on the same
+networks, their diverging ratio, and the flooding baseline's message cost —
+on the complete-graph family (paper's hard setting) and a sparse family.
+"""
+
+import pytest
+from conftest import record_experiment, run_once
+
+from repro.analysis import experiment_e6_separation, format_experiment
+
+
+@pytest.mark.parametrize("family", ("complete", "gnp_sparse"))
+def test_e6_separation(benchmark, family):
+    sizes = (16, 32, 64, 128, 256) if family == "complete" else (16, 32, 64, 128, 256, 512)
+    result = run_once(benchmark, experiment_e6_separation, sizes=sizes, family=family)
+    record_experiment(benchmark, result)
+    print()
+    print(format_experiment(result))
+    ratios = [row["ratio"] for row in result.rows]
+    assert ratios == sorted(ratios), "advice ratio must grow with n"
+    assert ratios[-1] > ratios[0] * 1.2
+    # growth classification must separate the two rates
+    wake_finding = next(f for f in result.findings if f.startswith("wakeup"))
+    bcast_finding = next(f for f in result.findings if f.startswith("broadcast"))
+    assert "n log n" in wake_finding.split("(runner-up")[0]
+    assert " n (" in bcast_finding.split("(runner-up")[0]

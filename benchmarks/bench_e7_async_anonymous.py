@@ -1,0 +1,27 @@
+"""E7 — robustness: the upper bounds hold asynchronously, anonymously,
+with bounded-size messages (paper Section 1.3).
+
+Regenerates: both theorem pairs under five schedulers (synchronous, FIFO,
+fully random, hello-starving and hello-rushing adversaries) with and
+without node identifiers, checking message counts stay at theorem values
+and the payload alphabet stays constant-size.
+"""
+
+from conftest import record_experiment, run_once
+
+from repro.analysis import experiment_e7_robustness, format_experiment
+
+
+def test_e7_async_anonymous(benchmark):
+    result = run_once(
+        benchmark,
+        experiment_e7_robustness,
+        n=64,
+        families=("gnp_sparse", "complete", "random_tree"),
+        schedulers=("sync", "fifo", "random", "delay-hello", "hurry-hello"),
+    )
+    record_experiment(benchmark, result)
+    print()
+    print(format_experiment(result))
+    assert all(r["wakeup_ok"] and r["bcast_ok"] for r in result.rows)
+    assert all(r["payloads"] <= 2 for r in result.rows)

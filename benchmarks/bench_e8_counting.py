@@ -1,0 +1,20 @@
+"""E8 — counting numerics: Claim 2.1, Equations 1-7, and the Remark.
+
+Regenerates: the Claim 2.1 constants (empirically A = B = 0 — the
+inequality holds from (1,1)), exact-vs-Equation-3 oracle output counts, and
+the c/(c+1) threshold shift from subdividing cn edges.
+"""
+
+from conftest import record_experiment, run_once
+
+from repro.analysis import experiment_e8_counting, format_experiment
+
+
+def test_e8_counting(benchmark):
+    result = run_once(
+        benchmark, experiment_e8_counting, exponents=(8, 12, 16, 20), subdivided_factors=(1, 2, 3)
+    )
+    record_experiment(benchmark, result)
+    print()
+    print(format_experiment(result))
+    assert all(r["ok"] for r in result.rows)

@@ -1,0 +1,26 @@
+"""E9 (extension) — the knowledge/efficiency tradeoff the conclusion asks for.
+
+Regenerates: the advice-vs-messages frontier of the depth-limited tree
+oracle + hybrid wakeup, from the flooding endpoint (0 tree bits,
+``2m - n + 1`` messages) to the Theorem 2.1 endpoint (``~n log n`` bits,
+``n - 1`` messages), per family.
+"""
+
+from conftest import record_experiment, run_once
+
+from repro.analysis import experiment_e9_tradeoff, format_experiment
+
+
+def test_e9_tradeoff(benchmark):
+    result = run_once(
+        benchmark, experiment_e9_tradeoff, n=64, families=("grid", "gnp_sparse", "complete")
+    )
+    record_experiment(benchmark, result)
+    print()
+    print(format_experiment(result))
+    assert all(r["success"] for r in result.rows)
+    for family in ("grid", "gnp_sparse", "complete"):
+        msgs = [r["messages"] for r in result.rows if r["family"] == family]
+        assert msgs == sorted(msgs, reverse=True), f"{family} frontier not monotone"
+        bits = [r["oracle_bits"] for r in result.rows if r["family"] == family]
+        assert bits == sorted(bits), f"{family} advice not monotone"

@@ -1,0 +1,104 @@
+"""Micro-benchmarks of the substrates the experiments run on.
+
+Not a paper experiment — these time the building blocks (engine message
+throughput, light-tree construction, oracle encoding, gadget surgery,
+adversary stepping) so performance regressions in the substrate are caught
+independently of the experiment-level numbers.
+"""
+
+import random
+
+import pytest
+
+from repro import (
+    Flooding,
+    LightTreeBroadcastOracle,
+    NullOracle,
+    SchemeB,
+    SpanningTreeWakeupOracle,
+    TreeWakeup,
+    complete_graph_star,
+    run_broadcast,
+    run_wakeup,
+)
+from repro.lowerbounds import ShuffledProber, enumerate_instances, run_adversary
+from repro.network import sample_edge_tuple, subdivision_family_graph
+from repro.oracles import light_spanning_tree
+
+
+@pytest.fixture(scope="module")
+def k128():
+    return complete_graph_star(128)
+
+
+def test_engine_flooding_throughput(benchmark, k128):
+    """~16k messages through the synchronous engine per round-trip."""
+    result = benchmark(lambda: run_broadcast(k128, NullOracle(), Flooding()))
+    assert result.success
+
+
+def test_scheme_b_full_pipeline(benchmark, k128):
+    """Oracle construction + advice decode + 2(n-1)-message broadcast."""
+    result = benchmark(lambda: run_broadcast(k128, LightTreeBroadcastOracle(), SchemeB()))
+    assert result.success
+
+
+def test_tree_wakeup_full_pipeline(benchmark, k128):
+    result = benchmark(lambda: run_wakeup(k128, SpanningTreeWakeupOracle(), TreeWakeup()))
+    assert result.success
+
+
+def test_light_tree_construction(benchmark, k128):
+    tree = benchmark(lambda: light_spanning_tree(k128))
+    assert len(tree) == 127
+
+
+def test_wakeup_oracle_encoding(benchmark, k128):
+    oracle = SpanningTreeWakeupOracle()
+    size = benchmark(lambda: oracle.size_on(k128))
+    assert size > 0
+
+
+def test_gadget_surgery(benchmark):
+    rng = random.Random(0)
+    edges = sample_edge_tuple(64, 64, rng)
+    graph = benchmark(lambda: subdivision_family_graph(64, edges))
+    assert graph.num_nodes == 128
+
+
+def test_adversary_stepping(benchmark):
+    family = enumerate_instances(5, 2)
+
+    def round_trip():
+        return run_adversary(ShuffledProber(3), family)
+
+    result = benchmark(round_trip)
+    assert result.certified
+
+
+@pytest.fixture(scope="module")
+def k512():
+    return complete_graph_star(512)
+
+
+def test_stress_wakeup_n512(benchmark, k512):
+    """Theorem 2.1 pipeline at n=512 (m = 130816): oracle + 511 messages."""
+    result = benchmark.pedantic(
+        lambda: run_wakeup(k512, SpanningTreeWakeupOracle(), TreeWakeup()),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.success
+    assert result.messages == 511
+
+
+def test_stress_broadcast_n512(benchmark, k512):
+    """Theorem 3.1 pipeline at n=512: light tree + Scheme B."""
+    result = benchmark.pedantic(
+        lambda: run_broadcast(k512, LightTreeBroadcastOracle(), SchemeB()),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.success
+    assert result.messages <= 2 * 511
+    assert result.oracle_bits <= 8 * 512

@@ -1,0 +1,27 @@
+"""Benchmark configuration and shared helpers.
+
+Each ``bench_e*.py`` file regenerates one experiment from the paper's
+result index (see DESIGN.md section 4) under ``pytest-benchmark`` timing,
+asserts the paper-shaped outcome, and attaches the headline findings as
+``extra_info`` so they appear in ``--benchmark-verbose`` output and saved
+JSON.
+
+Run everything:   pytest benchmarks/ --benchmark-only
+One experiment:   pytest benchmarks/bench_e6_separation.py --benchmark-only
+"""
+
+import pytest
+
+
+def record_experiment(benchmark, result) -> None:
+    """Attach an ExperimentResult's findings to the benchmark record."""
+    benchmark.extra_info["experiment"] = result.experiment
+    benchmark.extra_info["title"] = result.title
+    benchmark.extra_info["rows"] = len(result.rows)
+    for i, finding in enumerate(result.findings):
+        benchmark.extra_info[f"finding_{i}"] = finding
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Time a heavyweight experiment a single round (no warmup repeats)."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Robustness of the upper bounds: asynchrony, anonymity, bounded messages.
+
+The paper claims (Section 1.3) that both constructive upper bounds survive
+total asynchrony, anonymous nodes, and bounded-size messages.  This example
+stress-tests that claim: every scheduler — including adversaries that starve
+or rush the "hello" control messages — against both algorithms, with node
+identifiers hidden, checking message counts stay at their theorem values.
+
+Run:  python examples/async_robustness.py
+"""
+
+import random
+
+from repro import (
+    LightTreeBroadcastOracle,
+    SchemeB,
+    SpanningTreeWakeupOracle,
+    TreeWakeup,
+    make_scheduler,
+    random_connected_gnp,
+    run_broadcast,
+    run_wakeup,
+)
+from repro.simulator import SCHEDULER_NAMES
+
+
+def main() -> None:
+    rng = random.Random(2026)
+    graph = random_connected_gnp(80, 0.15, rng, port_order="random")
+    n = graph.num_nodes
+    print(
+        f"Network: random connected G(n=80, p=0.15), adversarial port labels, "
+        f"m = {graph.num_edges}\n"
+    )
+    header = (
+        f"{'scheduler':<14}{'anonymous':<11}{'wakeup msgs':>12}"
+        f"{'bcast msgs':>12}{'payload kinds':>15}{'ok':>5}"
+    )
+    print(header)
+    print("-" * len(header))
+    all_ok = True
+    for sched_name in SCHEDULER_NAMES:
+        for anonymous in (False, True):
+            for seed in (1, 2, 3):
+                w = run_wakeup(
+                    graph,
+                    SpanningTreeWakeupOracle(),
+                    TreeWakeup(),
+                    scheduler=make_scheduler(sched_name, seed),
+                    anonymous=anonymous,
+                )
+                b = run_broadcast(
+                    graph,
+                    LightTreeBroadcastOracle(),
+                    SchemeB(),
+                    scheduler=make_scheduler(sched_name, seed),
+                    anonymous=anonymous,
+                )
+                ok = (
+                    w.success
+                    and b.success
+                    and w.messages == n - 1
+                    and b.messages <= 2 * (n - 1)
+                )
+                all_ok = all_ok and ok
+                if seed == 1:
+                    payloads = len(b.trace.payload_alphabet())
+                    print(
+                        f"{sched_name:<14}{str(anonymous):<11}{w.messages:>12}"
+                        f"{b.messages:>12}{payloads:>15}{'yes' if ok else 'NO':>5}"
+                    )
+    print()
+    verdict = "HELD" if all_ok else "VIOLATED (bug!)"
+    print(
+        f"Across {len(SCHEDULER_NAMES) * 2 * 3} runs the theorem guarantees {verdict}:\n"
+        f"wakeup = exactly n-1 messages, broadcast <= 2(n-1) messages,\n"
+        f"two constant-size payloads, no node identifiers consulted."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Quickstart: the paper's two constructions on one network.
+
+Builds a 64-node network, runs
+
+* Theorem 2.1 — spanning-tree oracle + tree wakeup (n log n bits, n-1 msgs),
+* Theorem 3.1 — light-tree oracle + Scheme B (<= 8n bits, <= 2(n-1) msgs),
+* the zero-advice flooding baseline (0 bits, 2m - n + 1 msgs),
+
+and prints the advice/message trade-off that is the paper's subject.
+
+Run:  python examples/quickstart.py [n]
+"""
+
+import sys
+
+from repro import (
+    Flooding,
+    LightTreeBroadcastOracle,
+    NullOracle,
+    SchemeB,
+    SpanningTreeWakeupOracle,
+    TreeWakeup,
+    complete_graph_star,
+    run_broadcast,
+    run_wakeup,
+)
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 64
+    graph = complete_graph_star(n)
+    print(f"Network: canonically port-labeled complete graph K*_{n} "
+          f"({graph.num_nodes} nodes, {graph.num_edges} edges)\n")
+
+    wakeup = run_wakeup(graph, SpanningTreeWakeupOracle(), TreeWakeup())
+    broadcast = run_broadcast(graph, LightTreeBroadcastOracle(), SchemeB())
+    flooding = run_broadcast(graph, NullOracle(), Flooding())
+
+    header = f"{'task':<22}{'oracle bits':>12}{'messages':>10}{'complete':>10}"
+    print(header)
+    print("-" * len(header))
+    for label, r in (
+        ("wakeup (Thm 2.1)", wakeup),
+        ("broadcast (Thm 3.1)", broadcast),
+        ("flooding (baseline)", flooding),
+    ):
+        print(f"{label:<22}{r.oracle_bits:>12}{r.messages:>10}{str(r.success):>10}")
+
+    print()
+    print(f"The separation: wakeup paid {wakeup.oracle_bits} advice bits "
+          f"(~n log n) where broadcast paid {broadcast.oracle_bits} (~2n) — ")
+    print(f"a ratio of {wakeup.oracle_bits / broadcast.oracle_bits:.2f}, growing like log n.")
+    print(f"Both used a linear number of messages; flooding, with zero advice, "
+          f"paid {flooding.messages} (Theta(n^2) here).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""The headline result as a sweep: Theta(n log n) vs Theta(n) advice.
+
+Measures, across a range of network sizes and two families, the oracle size
+each task needs for linear-message dissemination, fits the growth rates, and
+prints the diverging ratio — the quantitative separation between wakeup and
+broadcast that the paper proves.
+
+Run:  python examples/separation_sweep.py
+"""
+
+from repro import FAMILY_BUILDERS, separation_profile
+from repro.analysis import classify_growth, format_table
+
+
+def sweep(family: str, sizes) -> None:
+    print(f"=== family: {family} ===")
+    points = separation_profile(sizes, FAMILY_BUILDERS[family])
+    rows = [
+        {
+            "n": p.n,
+            "wakeup bits": p.wakeup_oracle_bits,
+            "bcast bits": p.broadcast_oracle_bits,
+            "ratio": p.advice_ratio,
+            "wakeup msgs": p.wakeup_messages,
+            "bcast msgs": p.broadcast_messages,
+            "flooding msgs": p.flooding_messages,
+        }
+        for p in points
+    ]
+    print(format_table(rows))
+    ns = [p.n for p in points]
+    wake = classify_growth(ns, [p.wakeup_oracle_bits for p in points])
+    bcast = classify_growth(ns, [p.broadcast_oracle_bits for p in points])
+    print(f"  wakeup advice    ~ {wake[0]}")
+    print(f"  broadcast advice ~ {bcast[0]}")
+    print()
+
+
+def main() -> None:
+    sweep("complete", (16, 32, 64, 128, 256))
+    sweep("gnp_sparse", (16, 32, 64, 128, 256, 512))
+    print(
+        "Reading: the wakeup column fits c*n log n with c ~= 1 while the\n"
+        "broadcast column fits c*n with c ~= 2; their ratio grows like log n.\n"
+        "That is Theorems 2.1 + 3.1, and Theorems 2.2 + 3.2 show neither\n"
+        "rate can be improved."
+    )
+
+
+if __name__ == "__main__":
+    main()

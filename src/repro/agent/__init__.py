@@ -1,0 +1,14 @@
+"""Mobile-agent exploration substrate (conclusion's last named task)."""
+
+from .explorer import AgentView, ExplorationResult, Explorer, run_exploration
+from .explorers import AdvisedTreeExplorer, DFSExplorer, RotorRouterExplorer
+
+__all__ = [
+    "AgentView",
+    "Explorer",
+    "ExplorationResult",
+    "run_exploration",
+    "AdvisedTreeExplorer",
+    "DFSExplorer",
+    "RotorRouterExplorer",
+]

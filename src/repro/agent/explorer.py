@@ -1,0 +1,140 @@
+"""Mobile-agent substrate: one walker exploring a port-labeled network.
+
+"Exploration by mobile agents" is the last problem the paper's conclusion
+names as a candidate for the oracle-size measure, and the related work
+([2], [7] in the paper) is all about how knowledge changes exploration
+cost.  This module provides the minimal agent model those comparisons
+need:
+
+* a single agent starts at a node (default: the source), sees the current
+  node's oracle advice, degree, label (unless anonymous), and the port it
+  entered through, carries arbitrary private memory, and repeatedly either
+  *moves* through a local port or *halts*;
+* the cost measure is the number of edge traversals (*moves*) — the agent
+  analogue of message complexity;
+* :func:`run_exploration` drives the walk and reports whether every node
+  was visited, in how many moves, with the full trail for auditing.
+
+Oracles are reused unchanged: advice lives at nodes, and the agent reads
+the advice of the node it stands on — knowledge about the network placed
+*in* the network, exactly the paper's model transplanted to the agent
+setting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, List, Optional, Protocol, runtime_checkable
+
+from ..core.oracle import AdviceMap, Oracle
+from ..encoding import BitString
+from ..network.graph import PortLabeledGraph
+
+__all__ = ["AgentView", "Explorer", "ExplorationResult", "run_exploration"]
+
+
+@dataclass(frozen=True)
+class AgentView:
+    """What the agent perceives at its current node."""
+
+    advice: BitString
+    degree: int
+    entry_port: Optional[int]  # None at the start node
+    node_label: Optional[Hashable]  # None in anonymous runs
+
+
+@runtime_checkable
+class Explorer(Protocol):
+    """The agent's program: look at the current node, move or halt."""
+
+    def choose_port(self, view: AgentView) -> Optional[int]:  # pragma: no cover
+        """Return a local port to leave through, or ``None`` to halt."""
+        ...
+
+
+@dataclass
+class ExplorationResult:
+    """Outcome of one exploration run."""
+
+    graph_nodes: int
+    graph_edges: int
+    oracle_name: str
+    explorer_name: str
+    oracle_bits: int
+    moves: int
+    visited: int
+    halted: bool
+    trail: List[Hashable] = field(default_factory=list)
+
+    @property
+    def success(self) -> bool:
+        """Visited every node and halted on its own."""
+        return self.halted and self.visited == self.graph_nodes
+
+    def summary(self) -> str:
+        status = "ok" if self.success else "FAILED"
+        return (
+            f"exploration on n={self.graph_nodes}, m={self.graph_edges}: "
+            f"{self.oracle_name} ({self.oracle_bits} bits) + {self.explorer_name} "
+            f"-> {self.moves} moves, visited {self.visited}/{self.graph_nodes} [{status}]"
+        )
+
+
+def run_exploration(
+    graph: PortLabeledGraph,
+    oracle: Oracle,
+    explorer: Explorer,
+    start: Optional[Hashable] = None,
+    anonymous: bool = False,
+    max_moves: Optional[int] = None,
+    advice: Optional[AdviceMap] = None,
+) -> ExplorationResult:
+    """Walk the agent until it halts (or the move limit trips)."""
+    if not graph.frozen:
+        graph = graph.copy().freeze()
+    if advice is None:
+        advice = oracle.advise(graph)
+    position = start if start is not None else graph.source
+    if not graph.has_node(position):
+        raise ValueError(f"start node {position!r} is not in the graph")
+    if max_moves is None:
+        max_moves = 8 * graph.num_edges + 4 * graph.num_nodes + 16
+    visited = {position}
+    trail = [position]
+    entry_port: Optional[int] = None
+    moves = 0
+    halted = False
+    while moves < max_moves:
+        view = AgentView(
+            advice=advice[position],
+            degree=graph.degree(position),
+            entry_port=entry_port,
+            node_label=None if anonymous else position,
+        )
+        port = explorer.choose_port(view)
+        if port is None:
+            halted = True
+            break
+        if not 0 <= port < graph.degree(position):
+            raise ValueError(
+                f"explorer chose port {port} at node {position!r} of degree "
+                f"{graph.degree(position)}"
+            )
+        neighbor = graph.neighbor_via(position, port)
+        entry_port = graph.port(neighbor, position)
+        position = neighbor
+        visited.add(position)
+        trail.append(position)
+        moves += 1
+    explorer_name = getattr(explorer, "name", type(explorer).__name__)
+    return ExplorationResult(
+        graph_nodes=graph.num_nodes,
+        graph_edges=graph.num_edges,
+        oracle_name=oracle.name,
+        explorer_name=explorer_name,
+        oracle_bits=advice.total_bits(),
+        moves=moves,
+        visited=len(visited),
+        halted=halted,
+        trail=trail,
+    )

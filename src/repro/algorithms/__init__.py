@@ -1,0 +1,38 @@
+"""Concrete broadcast/wakeup algorithms: the paper's two plus baselines."""
+
+from .chatter import CHAT_MESSAGE, ChatterFlood
+from .dfs_wakeup import RETURN, TOKEN, DFSTokenWakeup, dfs_message_upper_bound
+from .election import AdvisedElection, MinIdElection
+from .flood_gossip import FloodGossip
+from .full_map_wakeup import FullMapWakeup
+from .flooding import Flooding, flooding_message_count
+from .hybrid_wakeup import HybridTreeFloodWakeup
+from .scheme_b import HELLO_MESSAGE, SchemeB, safe_decode_weight_ports
+from .tree_construction import AdvisedTreeConstruction, DFSTreeConstruction
+from .tree_gossip import TreeGossip
+from .tree_wakeup import SOURCE_MESSAGE, TreeWakeup, safe_decode_children_ports
+
+__all__ = [
+    "AdvisedElection",
+    "MinIdElection",
+    "FullMapWakeup",
+    "AdvisedTreeConstruction",
+    "DFSTreeConstruction",
+    "ChatterFlood",
+    "CHAT_MESSAGE",
+    "FloodGossip",
+    "TreeGossip",
+    "HybridTreeFloodWakeup",
+    "TreeWakeup",
+    "SchemeB",
+    "Flooding",
+    "DFSTokenWakeup",
+    "SOURCE_MESSAGE",
+    "HELLO_MESSAGE",
+    "TOKEN",
+    "RETURN",
+    "flooding_message_count",
+    "dfs_message_upper_bound",
+    "safe_decode_children_ports",
+    "safe_decode_weight_ports",
+]

@@ -1,0 +1,62 @@
+"""ChatterFlood — a deliberately talkative broadcast baseline.
+
+Every node spontaneously greets all its neighbors at startup ("chat" on all
+ports), and the source message is flooded on top.  The chatter is useless
+for correctness — it exists to exercise the *internal* branch of the
+Theorem 3.2 clique classification: inside an advice-less clique, ChatterFlood
+traverses every clique edge in the first synchronous round, so the
+adversary must fall back to picking a *last*-traversed edge as ``f_i`` and
+charging the clique its ``k(k-1)/2`` spontaneous messages.
+
+Message complexity: ``2m`` chats plus ``2m - n + 1`` floods — the worst of
+both worlds, which is the point of a foil.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Optional
+
+from ..core.scheme import Algorithm
+from ..encoding import BitString
+from ..simulator.node import NodeContext
+from .tree_wakeup import SOURCE_MESSAGE
+
+__all__ = ["ChatterFlood", "CHAT_MESSAGE"]
+
+#: The spontaneous greeting payload.
+CHAT_MESSAGE = "chat"
+
+
+class _ChatterScheme:
+    def __init__(self) -> None:
+        self._forwarded = False
+
+    def on_init(self, ctx: NodeContext) -> None:
+        for port in range(ctx.degree):
+            ctx.send(CHAT_MESSAGE, port)
+        if ctx.is_source:
+            self._forwarded = True
+            for port in range(ctx.degree):
+                ctx.send(SOURCE_MESSAGE, port)
+
+    def on_receive(self, ctx: NodeContext, payload, port: int) -> None:
+        if payload == SOURCE_MESSAGE and not self._forwarded:
+            self._forwarded = True
+            for p in range(ctx.degree):
+                if p != port:
+                    ctx.send(SOURCE_MESSAGE, p)
+
+
+class ChatterFlood(Algorithm):
+    """Flooding plus spontaneous all-port chatter (broadcast only)."""
+
+    is_wakeup_algorithm = False
+
+    def scheme_for(
+        self,
+        advice: BitString,
+        is_source: bool,
+        node_id: Optional[Hashable],
+        degree: int,
+    ) -> _ChatterScheme:
+        return _ChatterScheme()

@@ -1,0 +1,88 @@
+"""Zero-advice depth-first token wakeup — the other classic baseline.
+
+A single token (carrying the source message) performs a depth-first
+traversal of the unknown port-labeled network: the holder tries its ports in
+increasing order, skipping the port it was woken through; a neighbor that is
+already awake bounces the token straight back; a neighbor that is new adopts
+the holder as parent and recurses, returning the token when its own ports
+are exhausted.
+
+Every node tries each non-parent port exactly once and every try is answered
+by exactly one return, so the message complexity is
+``2 * (2m - (n - 1)) - 2(n-1)``-ish — ``Theta(m)``, like flooding, but with
+the sequential structure that makes it a *wakeup* algorithm usable as the
+zero-advice comparator on dense gadget families (it is painfully quadratic
+on ``K*_n``-derived graphs, which is the paper's point).
+
+Only token holders ever transmit, so the wakeup constraint holds.  The
+scheme is anonymous (ports only) and its payloads are two constant tokens.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Optional
+
+from ..core.scheme import Algorithm
+from ..encoding import BitString
+from ..simulator.node import NodeContext
+
+__all__ = ["DFSTokenWakeup", "TOKEN", "RETURN", "dfs_message_upper_bound"]
+
+#: The roving token; it carries the source message.
+TOKEN = "token"
+#: "Your try is answered — move on" (sent both on bounce and on finish).
+RETURN = "ret"
+
+
+def dfs_message_upper_bound(num_nodes: int, num_edges: int) -> int:
+    """Upper bound on DFS-token messages: two per try, tries = ``2m - n + 1``."""
+    return 2 * (2 * num_edges - num_nodes + 1)
+
+
+class _DFSScheme:
+    def __init__(self) -> None:
+        self._visited = False
+        self._parent_port: Optional[int] = None
+        self._cursor = 0  # next port to try
+
+    def on_init(self, ctx: NodeContext) -> None:
+        if ctx.is_source:
+            self._visited = True
+            self._advance(ctx)
+
+    def on_receive(self, ctx: NodeContext, payload, port: int) -> None:
+        if payload == TOKEN:
+            if self._visited:
+                ctx.send(RETURN, port)  # bounce: already awake
+            else:
+                self._visited = True
+                self._parent_port = port
+                self._advance(ctx)
+        elif payload == RETURN:
+            self._advance(ctx)
+
+    def _advance(self, ctx: NodeContext) -> None:
+        """Try the next port, or give the token back when exhausted."""
+        while self._cursor < ctx.degree and self._cursor == self._parent_port:
+            self._cursor += 1
+        if self._cursor < ctx.degree:
+            ctx.send(TOKEN, self._cursor)
+            self._cursor += 1
+        elif self._parent_port is not None:
+            ctx.send(RETURN, self._parent_port)
+        # else: the source has exhausted its ports — traversal complete.
+
+
+class DFSTokenWakeup(Algorithm):
+    """Oracle-free DFS token traversal; a valid wakeup algorithm."""
+
+    is_wakeup_algorithm = True
+
+    def scheme_for(
+        self,
+        advice: BitString,
+        is_source: bool,
+        node_id: Optional[Hashable],
+        degree: int,
+    ) -> _DFSScheme:
+        return _DFSScheme()

@@ -1,0 +1,96 @@
+"""Election algorithms: one advice bit, or Theta(n*m) messages, or neither.
+
+* :class:`AdvisedElection` — pairs with
+  :class:`repro.oracles.LeaderBitOracle` (total oracle size: **one bit**).
+  Each node outputs leader/follower according to its advice.  Zero
+  messages; the cheapest non-trivial oracle in the whole library.
+* :class:`MinIdElection` — zero advice, but requires unique identifiers:
+  every node floods its id; everyone forwards the smallest id seen so far;
+  at quiescence the node holding its own id as the minimum leads.  Since a
+  node cannot locally detect global quiescence, it outputs its current
+  belief after every event — the *last* output stands, which is exactly
+  the engine's output semantics.  Message complexity ``O(n * m)``.
+
+Run anonymously, ``MinIdElection`` sees ``node_id=None`` everywhere and
+(correctly, deterministically) fails on symmetric networks — the
+impossibility the tests exhibit on rotation-symmetric rings.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Optional
+
+from ..core.election import FOLLOWER, LEADER
+from ..core.scheme import Algorithm
+from ..encoding import BitString
+from ..simulator.node import NodeContext
+
+__all__ = ["AdvisedElection", "MinIdElection"]
+
+
+class _AdvisedScheme:
+    def on_init(self, ctx: NodeContext) -> None:
+        is_leader = len(ctx.advice) >= 1 and ctx.advice[0] == 1
+        ctx.output(LEADER if is_leader else FOLLOWER)
+
+    def on_receive(self, ctx: NodeContext, payload, port: int) -> None:
+        pass
+
+
+class AdvisedElection(Algorithm):
+    """Output what the (1-bit!) oracle says; send nothing."""
+
+    is_wakeup_algorithm = True  # vacuously: never transmits
+
+    def scheme_for(
+        self,
+        advice: BitString,
+        is_source: bool,
+        node_id: Optional[Hashable],
+        degree: int,
+    ) -> _AdvisedScheme:
+        return _AdvisedScheme()
+
+
+class _MinIdScheme:
+    def __init__(self) -> None:
+        self._best = None  # smallest (repr-ordered) id seen
+
+    def _key(self, value):
+        return repr(value)
+
+    def on_init(self, ctx: NodeContext) -> None:
+        self._best = ctx.node_id
+        for port in range(ctx.degree):
+            ctx.send(("id", ctx.node_id), port)
+        self._announce(ctx)
+
+    def on_receive(self, ctx: NodeContext, payload, port: int) -> None:
+        if not (isinstance(payload, tuple) and len(payload) == 2 and payload[0] == "id"):
+            return
+        candidate = payload[1]
+        if self._key(candidate) < self._key(self._best):
+            self._best = candidate
+            for p in range(ctx.degree):
+                if p != port:
+                    ctx.send(("id", candidate), p)
+        self._announce(ctx)
+
+    def _announce(self, ctx: NodeContext) -> None:
+        ctx.output(LEADER if self._best == ctx.node_id else FOLLOWER)
+
+
+class MinIdElection(Algorithm):
+    """Flood the minimum identifier; its owner leads.  Zero advice,
+    unique ids required, ``O(n * m)`` messages."""
+
+    is_wakeup_algorithm = False
+
+    def scheme_for(
+        self,
+        advice: BitString,
+        is_source: bool,
+        node_id: Optional[Hashable],
+        degree: int,
+    ) -> _MinIdScheme:
+        return _MinIdScheme()

@@ -1,0 +1,63 @@
+"""Zero-advice flooding — the baseline both theorems are measured against.
+
+Flooding needs no oracle at all: the source sends the message on every port;
+every other node, on first receipt, forwards it on every port except the one
+it arrived on.  Message complexity is exactly
+``deg(s) + sum_{v != s} (deg(v) - 1) = 2m - n + 1`` — linear in the number
+of *edges*, not nodes.  On sparse networks that is fine; on dense ones it is
+the ``Theta(n^2)`` cost that motivates paying advice bits for linear-in-``n``
+message complexity.
+
+Flooding never transmits spontaneously (only the source and already-woken
+nodes send), so it doubles as a valid zero-advice *wakeup* algorithm — the
+point of comparison for Theorem 2.2's ``Theta(n log n)`` advice price.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Optional
+
+from ..core.scheme import Algorithm
+from ..encoding import BitString
+from ..simulator.node import NodeContext
+from .tree_wakeup import SOURCE_MESSAGE
+
+__all__ = ["Flooding", "flooding_message_count"]
+
+
+def flooding_message_count(num_nodes: int, num_edges: int) -> int:
+    """The exact flooding message count on a connected graph: ``2m - n + 1``."""
+    return 2 * num_edges - num_nodes + 1
+
+
+class _FloodingScheme:
+    def __init__(self) -> None:
+        self._forwarded = False
+
+    def on_init(self, ctx: NodeContext) -> None:
+        if ctx.is_source:
+            self._forwarded = True
+            for port in range(ctx.degree):
+                ctx.send(SOURCE_MESSAGE, port)
+
+    def on_receive(self, ctx: NodeContext, payload, port: int) -> None:
+        if payload == SOURCE_MESSAGE and not self._forwarded:
+            self._forwarded = True
+            for p in range(ctx.degree):
+                if p != port:
+                    ctx.send(SOURCE_MESSAGE, p)
+
+
+class Flooding(Algorithm):
+    """Oracle-free flooding; valid for both broadcast and wakeup."""
+
+    is_wakeup_algorithm = True
+
+    def scheme_for(
+        self,
+        advice: BitString,
+        is_source: bool,
+        node_id: Optional[Hashable],
+        degree: int,
+    ) -> _FloodingScheme:
+        return _FloodingScheme()

@@ -1,0 +1,97 @@
+"""Full-map wakeup: maximal knowledge, same optimal message count.
+
+Pairs with :class:`repro.oracles.IndexedFullMapOracle`.  Every node decodes
+the complete topology, locally computes the BFS tree every other node also
+computes (rooted at index 0, neighbors in port order), finds itself on it,
+and — when first holding the source message — forwards it exactly to its
+tree children.  Message complexity: ``n - 1``, identical to Theorem 2.1,
+for ``Theta(n (n + m) log n)`` advice bits instead of ``Theta(n log n)``.
+Knowing *everything* is sufficient; the paper's contribution is how little
+is *necessary*.
+
+One contract: all nodes must agree on the tree's root, and the map does not
+mark the source, so this algorithm requires the source to be the node with
+the smallest label (= map index 0).  :func:`supports` checks a graph;
+every default builder in :mod:`repro.network.builders` satisfies it.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Hashable, List, Optional
+
+from ..core.scheme import Algorithm
+from ..encoding import BitString
+from ..network.graph import PortLabeledGraph
+from ..oracles.full_map import decode_indexed_map
+from ..simulator.node import NodeContext
+from .tree_wakeup import SOURCE_MESSAGE
+
+__all__ = ["FullMapWakeup", "supports"]
+
+
+def supports(graph: PortLabeledGraph) -> bool:
+    """True when the graph satisfies this algorithm's contract:
+    the source is the node with the smallest label (index 0 in the map)."""
+    return graph.source == min(graph.nodes(), key=repr)
+
+
+def _children_ports(tables: List[List[int]], own: int) -> List[int]:
+    """Ports of ``own`` toward its children in the BFS tree of the map,
+    rooted at index 0, exploring neighbors in port order."""
+    n = len(tables)
+    parent: List[Optional[int]] = [None] * n
+    seen = [False] * n
+    seen[0] = True
+    queue = deque([0])
+    while queue:
+        u = queue.popleft()
+        for neighbor in tables[u]:
+            if not seen[neighbor]:
+                seen[neighbor] = True
+                parent[neighbor] = u
+                queue.append(neighbor)
+    return [
+        port
+        for port, neighbor in enumerate(tables[own])
+        if parent[neighbor] == own
+    ]
+
+
+class _FullMapScheme:
+    def __init__(self) -> None:
+        self._woken = False
+        self._ports: List[int] = []
+
+    def on_init(self, ctx: NodeContext) -> None:
+        decoded = decode_indexed_map(ctx.advice)
+        if decoded is not None:
+            tables, own = decoded
+            ports = _children_ports(tables, own)
+            self._ports = [p for p in ports if 0 <= p < ctx.degree]
+        if ctx.is_source:
+            self._fire(ctx)
+
+    def on_receive(self, ctx: NodeContext, payload, port: int) -> None:
+        if payload == SOURCE_MESSAGE and not self._woken:
+            self._fire(ctx)
+
+    def _fire(self, ctx: NodeContext) -> None:
+        self._woken = True
+        for port in self._ports:
+            ctx.send(SOURCE_MESSAGE, port)
+
+
+class FullMapWakeup(Algorithm):
+    """Wakeup from complete topology knowledge (source = smallest label)."""
+
+    is_wakeup_algorithm = True
+
+    def scheme_for(
+        self,
+        advice: BitString,
+        is_source: bool,
+        node_id: Optional[Hashable],
+        degree: int,
+    ) -> _FullMapScheme:
+        return _FullMapScheme()

@@ -1,0 +1,72 @@
+"""Hybrid tree/flood wakeup — the algorithm side of the tradeoff (E9).
+
+Pairs with :class:`repro.oracles.DepthLimitedTreeOracle`.  Every advice
+string starts with a marker bit:
+
+* ``1`` — *tree-advised*: when first holding the source message, forward it
+  on the encoded children ports only (one message per child, as in
+  Theorem 2.1);
+* ``0`` — *fringe*: when first woken, flood on every port except the
+  arrival port (as in the zero-advice baseline).
+
+Correctness at every depth cut: all nodes at BFS depth ``<= d`` are tree
+children of advised nodes (or the source), and every node deeper than ``d``
+reaches depth ``d`` through a monotone-depth path that lies entirely in the
+fringe, which flooding covers.  The wakeup constraint holds: nobody
+transmits before holding the message.
+
+Message complexity interpolates between ``n - 1`` (all advised) and
+``2m - n + 1`` (all fringe) as the advice budget grows — the tradeoff
+curve of experiment E9.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Optional
+
+from ..core.scheme import Algorithm
+from ..encoding import BitString
+from ..simulator.node import NodeContext
+from .tree_wakeup import SOURCE_MESSAGE, safe_decode_children_ports
+
+__all__ = ["HybridTreeFloodWakeup"]
+
+
+class _HybridScheme:
+    def __init__(self) -> None:
+        self._woken = False
+
+    def on_init(self, ctx: NodeContext) -> None:
+        if ctx.is_source:
+            self._fire(ctx, arrival_port=None)
+
+    def on_receive(self, ctx: NodeContext, payload, port: int) -> None:
+        if payload == SOURCE_MESSAGE and not self._woken:
+            self._fire(ctx, arrival_port=port)
+
+    def _fire(self, ctx: NodeContext, arrival_port: Optional[int]) -> None:
+        self._woken = True
+        advice = ctx.advice
+        if len(advice) >= 1 and advice[0] == 1:
+            for port in safe_decode_children_ports(advice[1:], ctx.degree):
+                ctx.send(SOURCE_MESSAGE, port)
+        else:
+            for port in range(ctx.degree):
+                if port != arrival_port:
+                    ctx.send(SOURCE_MESSAGE, port)
+
+
+class HybridTreeFloodWakeup(Algorithm):
+    """Tree-forward where advised, flood where not (pairs with
+    :class:`repro.oracles.DepthLimitedTreeOracle`)."""
+
+    is_wakeup_algorithm = True
+
+    def scheme_for(
+        self,
+        advice: BitString,
+        is_source: bool,
+        node_id: Optional[Hashable],
+        degree: int,
+    ) -> _HybridScheme:
+        return _HybridScheme()

@@ -1,0 +1,101 @@
+"""Spanning-tree construction algorithms: the two ends of the E11 tradeoff.
+
+* :class:`AdvisedTreeConstruction` — pairs with
+  :class:`repro.oracles.ParentPointerOracle`: every node simply outputs the
+  parent port its advice names.  **Zero messages**; the knowledge is the
+  answer.
+* :class:`DFSTreeConstruction` — zero advice: a DFS token explores the
+  unknown network exactly as :class:`repro.algorithms.DFSTokenWakeup` does,
+  and every node outputs the port its first token arrived on (its DFS
+  parent).  ``Theta(m)`` messages buy what the oracle would have given for
+  ``~n log(max deg)`` bits.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Optional
+
+from ..core.scheme import Algorithm
+from ..encoding import BitString
+from ..oracles.parent_pointer import decode_parent_port
+from ..simulator.node import NodeContext
+from .dfs_wakeup import RETURN, TOKEN
+
+__all__ = ["AdvisedTreeConstruction", "DFSTreeConstruction"]
+
+
+class _AdvisedScheme:
+    def on_init(self, ctx: NodeContext) -> None:
+        if ctx.is_source:
+            ctx.output(None)
+        else:
+            ctx.output(decode_parent_port(ctx.advice, ctx.degree))
+
+    def on_receive(self, ctx: NodeContext, payload, port: int) -> None:
+        pass
+
+
+class AdvisedTreeConstruction(Algorithm):
+    """Output the advised parent port; send nothing."""
+
+    is_wakeup_algorithm = True  # vacuously: it never transmits
+
+    def scheme_for(
+        self,
+        advice: BitString,
+        is_source: bool,
+        node_id: Optional[Hashable],
+        degree: int,
+    ) -> _AdvisedScheme:
+        return _AdvisedScheme()
+
+
+class _DFSConstructScheme:
+    """DFS token traversal that records parents as it goes."""
+
+    def __init__(self) -> None:
+        self._visited = False
+        self._parent_port: Optional[int] = None
+        self._cursor = 0
+
+    def on_init(self, ctx: NodeContext) -> None:
+        if ctx.is_source:
+            self._visited = True
+            ctx.output(None)
+            self._advance(ctx)
+
+    def on_receive(self, ctx: NodeContext, payload, port: int) -> None:
+        if payload == TOKEN:
+            if self._visited:
+                ctx.send(RETURN, port)
+            else:
+                self._visited = True
+                self._parent_port = port
+                ctx.output(port)
+                self._advance(ctx)
+        elif payload == RETURN:
+            self._advance(ctx)
+
+    def _advance(self, ctx: NodeContext) -> None:
+        while self._cursor < ctx.degree and self._cursor == self._parent_port:
+            self._cursor += 1
+        if self._cursor < ctx.degree:
+            ctx.send(TOKEN, self._cursor)
+            self._cursor += 1
+        elif self._parent_port is not None:
+            ctx.send(RETURN, self._parent_port)
+
+
+class DFSTreeConstruction(Algorithm):
+    """Discover a DFS tree with a token; zero advice, ``Theta(m)`` messages."""
+
+    is_wakeup_algorithm = True
+
+    def scheme_for(
+        self,
+        advice: BitString,
+        is_source: bool,
+        node_id: Optional[Hashable],
+        degree: int,
+    ) -> _DFSConstructScheme:
+        return _DFSConstructScheme()

@@ -1,0 +1,77 @@
+"""Theorem 2.1's wakeup algorithm: forward the message down the advice tree.
+
+Each node's advice encodes the ports leading to its children in a spanning
+tree rooted at the source (:class:`repro.oracles.SpanningTreeWakeupOracle`).
+The scheme is one line of behaviour: *when you first hold the source
+message, send it on every advised port*.  The source holds it from the
+start; everyone else stays silent until woken — the wakeup constraint is
+satisfied by construction.  Exactly one message crosses each tree edge:
+``n - 1`` messages, the optimum (every non-source node must receive one).
+
+The scheme never uses node identifiers and the only payload is the constant
+token ``"M"``, so the upper bound holds anonymously with bounded-size
+messages, as the paper asserts.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, List, Optional
+
+from ..core.scheme import Algorithm
+from ..encoding import BitString, decode_children_ports
+from ..simulator.node import NodeContext
+
+__all__ = ["TreeWakeup", "SOURCE_MESSAGE", "safe_decode_children_ports"]
+
+#: The broadcast payload.  Constant-size token: the actual source message is
+#: abstract in the model, only its propagation is counted.
+SOURCE_MESSAGE = "M"
+
+
+def safe_decode_children_ports(advice: BitString, degree: int) -> List[int]:
+    """Decode children ports, surviving arbitrary (e.g. truncated) advice.
+
+    A scheme must behave *somehow* on every advice string — the lower-bound
+    experiments deliberately feed damaged advice.  Undecodable strings yield
+    no ports; decoded ports outside ``0..degree-1`` are dropped.
+    """
+    try:
+        ports = decode_children_ports(advice)
+    except (ValueError, EOFError):
+        return []
+    return [p for p in ports if 0 <= p < degree]
+
+
+class _TreeWakeupScheme:
+    """Per-node state machine: wake children once, then stay quiet."""
+
+    def __init__(self) -> None:
+        self._woken = False
+
+    def on_init(self, ctx: NodeContext) -> None:
+        if ctx.is_source:
+            self._wake_children(ctx)
+
+    def on_receive(self, ctx: NodeContext, payload, port: int) -> None:
+        if payload == SOURCE_MESSAGE and not self._woken:
+            self._wake_children(ctx)
+
+    def _wake_children(self, ctx: NodeContext) -> None:
+        self._woken = True
+        for port in safe_decode_children_ports(ctx.advice, ctx.degree):
+            ctx.send(SOURCE_MESSAGE, port)
+
+
+class TreeWakeup(Algorithm):
+    """The Theorem 2.1 wakeup algorithm (pair with the spanning-tree oracle)."""
+
+    is_wakeup_algorithm = True
+
+    def scheme_for(
+        self,
+        advice: BitString,
+        is_source: bool,
+        node_id: Optional[Hashable],
+        degree: int,
+    ) -> _TreeWakeupScheme:
+        return _TreeWakeupScheme()

@@ -1,0 +1,67 @@
+"""Growth-rate fitting: is a measured series ``Theta(n)`` or ``Theta(n log n)``?
+
+The separation headline is a claim about growth rates, so the harness fits
+measured oracle sizes against the two candidate shapes and reports which one
+explains the data.  Fits are least-squares through the origin (both models
+are pure rates); quality is relative RMS residual, and
+:func:`classify_growth` simply picks the model with the smaller one.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+import numpy as np
+
+__all__ = ["GrowthFit", "fit_rate", "classify_growth", "GROWTH_MODELS"]
+
+
+#: Candidate growth shapes, by name.
+GROWTH_MODELS: Dict[str, Callable[[float], float]] = {
+    "n": lambda n: n,
+    "n log n": lambda n: n * math.log2(n) if n > 1 else n,
+    "n^2": lambda n: n * n,
+    "log n": lambda n: math.log2(n) if n > 1 else 1.0,
+}
+
+
+@dataclass(frozen=True)
+class GrowthFit:
+    """One model's fit: ``y ~ constant * shape(n)``."""
+
+    model: str
+    constant: float
+    rel_rms_residual: float
+
+    def __str__(self) -> str:
+        return f"{self.constant:.3f} * {self.model} (rel.err {self.rel_rms_residual:.3f})"
+
+
+def fit_rate(ns: Sequence[float], ys: Sequence[float], model: str) -> GrowthFit:
+    """Least-squares fit of ``ys ~ c * shape(ns)`` through the origin."""
+    if model not in GROWTH_MODELS:
+        raise ValueError(f"unknown model {model!r}; have {sorted(GROWTH_MODELS)}")
+    if len(ns) != len(ys) or len(ns) < 2:
+        raise ValueError("need at least two (n, y) points")
+    shape = GROWTH_MODELS[model]
+    x = np.asarray([shape(n) for n in ns], dtype=float)
+    y = np.asarray(ys, dtype=float)
+    constant = float(x @ y / (x @ x))
+    pred = constant * x
+    scale = float(np.sqrt(np.mean(y**2))) or 1.0
+    residual = float(np.sqrt(np.mean((y - pred) ** 2))) / scale
+    return GrowthFit(model=model, constant=constant, rel_rms_residual=residual)
+
+
+def classify_growth(
+    ns: Sequence[float], ys: Sequence[float], models: Sequence[str] = ("n", "n log n")
+) -> List[GrowthFit]:
+    """Fit every candidate model; results sorted best-first.
+
+    The winner is ``result[0]``; the gap to ``result[1]`` indicates how
+    decisive the classification is.
+    """
+    fits = [fit_rate(ns, ys, m) for m in models]
+    return sorted(fits, key=lambda f: f.rel_rms_residual)

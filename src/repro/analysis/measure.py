@@ -1,0 +1,80 @@
+"""Parameter sweeps: run a measurement over (family, size) grids.
+
+Experiments are mostly of one shape — "for every graph family and every
+size, run some (oracle, algorithm) pairs and record a row".  This module is
+that loop, with reproducible family builders and failure capture (a failed
+run becomes a row with ``success=False``, never an aborted sweep).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
+
+from ..core.oracle import Oracle
+from ..core.scheme import Algorithm
+from ..core.tasks import TaskResult, run_broadcast, run_wakeup
+from ..network.builders import FAMILY_BUILDERS
+from ..network.graph import PortLabeledGraph
+
+__all__ = ["sweep_families", "run_pair", "task_result_row"]
+
+GraphBuilder = Callable[[int], PortLabeledGraph]
+Measurement = Callable[[str, int, PortLabeledGraph], Dict[str, Any]]
+
+
+def sweep_families(
+    sizes: Sequence[int],
+    measurement: Measurement,
+    families: Optional[Iterable[str]] = None,
+) -> List[Dict[str, Any]]:
+    """Apply ``measurement(family, n, graph)`` over the grid; one row each.
+
+    ``families`` defaults to every named family in
+    :data:`repro.network.FAMILY_BUILDERS`.  Builder errors (e.g. a family
+    that needs a larger minimum size) skip the cell rather than killing the
+    sweep.
+    """
+    chosen = list(families) if families is not None else sorted(FAMILY_BUILDERS)
+    rows: List[Dict[str, Any]] = []
+    for family in chosen:
+        builder = FAMILY_BUILDERS[family]
+        for n in sizes:
+            try:
+                graph = builder(n)
+            except Exception:
+                continue
+            row = measurement(family, n, graph)
+            row.setdefault("family", family)
+            row.setdefault("n", graph.num_nodes)
+            rows.append(row)
+    return rows
+
+
+def run_pair(
+    graph: PortLabeledGraph,
+    oracle: Oracle,
+    algorithm: Algorithm,
+    task: str = "broadcast",
+    **kwargs,
+) -> TaskResult:
+    """Run one (oracle, algorithm) pair; ``task`` is ``broadcast``/``wakeup``."""
+    if task == "broadcast":
+        return run_broadcast(graph, oracle, algorithm, **kwargs)
+    if task == "wakeup":
+        return run_wakeup(graph, oracle, algorithm, **kwargs)
+    raise ValueError(f"unknown task {task!r}")
+
+
+def task_result_row(result: TaskResult) -> Dict[str, Any]:
+    """Flatten a :class:`TaskResult` into a table row."""
+    return {
+        "task": result.task,
+        "n": result.graph_nodes,
+        "m": result.graph_edges,
+        "oracle": result.oracle_name,
+        "algorithm": result.algorithm_name,
+        "oracle_bits": result.oracle_bits,
+        "messages": result.messages,
+        "success": result.success,
+        "rounds": result.rounds,
+    }

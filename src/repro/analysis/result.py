@@ -1,0 +1,35 @@
+"""The experiment result record and its renderer (shared by E1-E10)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from .tables import format_table
+
+__all__ = ["ExperimentResult", "format_experiment"]
+
+
+@dataclass
+class ExperimentResult:
+    """Rows plus headline findings for one experiment."""
+
+    experiment: str
+    title: str
+    rows: List[Dict[str, Any]]
+    findings: List[str] = field(default_factory=list)
+    columns: Optional[Sequence[str]] = None
+
+
+def format_experiment(result: ExperimentResult) -> str:
+    """Render an experiment the way EXPERIMENTS.md records it."""
+    parts = [
+        format_table(
+            result.rows,
+            columns=result.columns,
+            title=f"[{result.experiment}] {result.title}",
+        )
+    ]
+    for finding in result.findings:
+        parts.append(f"  * {finding}")
+    return "\n".join(parts)

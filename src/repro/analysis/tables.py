@@ -1,0 +1,54 @@
+"""ASCII table rendering for experiment output.
+
+The benchmarks print paper-style result tables to stdout;
+:func:`format_table` is the single renderer they share, so every experiment
+reads the same way: a title, a header row, aligned columns, floats shown
+with sensible precision.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+__all__ = ["format_table", "format_value"]
+
+
+def format_value(value: Any) -> str:
+    """Render one cell: floats at 3 significant decimals, bools as yes/no."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 10000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Dict[str, Any]],
+    columns: Optional[Sequence[str]] = None,
+    title: Optional[str] = None,
+) -> str:
+    """Render dict-rows as an aligned ASCII table.
+
+    ``columns`` fixes the column order (default: keys of the first row).
+    Missing values render as ``-``.
+    """
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    cols: List[str] = list(columns) if columns else list(rows[0].keys())
+    cells = [[format_value(r.get(c, "-")) for c in cols] for r in rows]
+    widths = [
+        max(len(c), *(len(row[i]) for row in cells)) for i, c in enumerate(cols)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(c.ljust(w) for c, w in zip(cols, widths))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in cells:
+        lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)

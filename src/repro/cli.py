@@ -1,0 +1,145 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``experiment E1 [E2 ...]``
+    Run experiments from the registry and print their tables and findings.
+``all``
+    Run every experiment (E1-E14) at default sizes.
+``separation [--family F] [--sizes 16,32,...]``
+    Just the headline separation sweep.
+``quickstart [n]``
+    The three-line demo: both theorems plus the flooding baseline on K*_n.
+``report [path] [--only E1,E4]``
+    Run experiments and write a self-contained markdown report.
+``compare [--family F] [--n N]``
+    Oracle x algorithm comparison matrix on one network.
+``list``
+    List the available experiments with their titles.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis.experiments import EXPERIMENTS, format_experiment, run_experiment
+
+__all__ = ["main"]
+
+
+def _cmd_experiment(ids: List[str]) -> int:
+    status = 0
+    for eid in ids:
+        try:
+            result = run_experiment(eid)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(format_experiment(result))
+        print()
+        bad = [r for r in result.rows if r.get("ok") is False or r.get("success") is False]
+        if bad:
+            status = 1
+    return status
+
+
+def _cmd_list() -> int:
+    for eid in sorted(EXPERIMENTS):
+        result_fn = EXPERIMENTS[eid]
+        doc = (result_fn.__doc__ or "").strip().splitlines()[0]
+        print(f"{eid}: {doc}")
+    return 0
+
+
+def _cmd_separation(family: str, sizes: Optional[str]) -> int:
+    kwargs = {"family": family}
+    if sizes:
+        kwargs["sizes"] = tuple(int(s) for s in sizes.split(","))
+    result = run_experiment("E6", **kwargs)
+    print(format_experiment(result))
+    return 0
+
+
+def _cmd_quickstart(n: int) -> int:
+    from .algorithms import Flooding, SchemeB, TreeWakeup
+    from .core import NullOracle, run_broadcast, run_wakeup
+    from .network import complete_graph_star
+    from .oracles import LightTreeBroadcastOracle, SpanningTreeWakeupOracle
+
+    graph = complete_graph_star(n)
+    for label, result in (
+        ("wakeup  (Thm 2.1)", run_wakeup(graph, SpanningTreeWakeupOracle(), TreeWakeup())),
+        ("broadcast (Thm 3.1)", run_broadcast(graph, LightTreeBroadcastOracle(), SchemeB())),
+        ("flooding (baseline)", run_broadcast(graph, NullOracle(), Flooding())),
+    ):
+        print(f"{label}: {result.summary()}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Parse arguments and dispatch; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Oracle size: a new measure of difficulty "
+        "for communication tasks' (PODC 2006)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_exp = sub.add_parser("experiment", help="run one or more experiments (E1-E8)")
+    p_exp.add_argument("ids", nargs="+", metavar="ID")
+
+    sub.add_parser("all", help="run every experiment")
+    sub.add_parser("list", help="list the experiment registry")
+
+    p_sep = sub.add_parser("separation", help="the headline separation sweep")
+    p_sep.add_argument("--family", default="complete")
+    p_sep.add_argument("--sizes", default=None, help="comma-separated sizes")
+
+    p_quick = sub.add_parser("quickstart", help="both theorems on K*_n")
+    p_quick.add_argument("n", nargs="?", type=int, default=64)
+
+    p_report = sub.add_parser("report", help="write a markdown report of experiments")
+    p_report.add_argument("path", nargs="?", default="experiment_report.md")
+    p_report.add_argument("--only", default=None, help="comma-separated experiment ids")
+
+    p_cmp = sub.add_parser("compare", help="oracle x algorithm matrix on one network")
+    p_cmp.add_argument("--family", default="complete")
+    p_cmp.add_argument("--n", type=int, default=64)
+
+    args = parser.parse_args(argv)
+    if args.command == "experiment":
+        return _cmd_experiment(args.ids)
+    if args.command == "all":
+        return _cmd_experiment(sorted(EXPERIMENTS))
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "separation":
+        return _cmd_separation(args.family, args.sizes)
+    if args.command == "quickstart":
+        return _cmd_quickstart(args.n)
+    if args.command == "report":
+        from .analysis.report import write_report
+
+        ids = args.only.split(",") if args.only else None
+        write_report(args.path, ids)
+        print(f"wrote {args.path}")
+        return 0
+    if args.command == "compare":
+        from .analysis.compare import format_comparison
+        from .network.builders import FAMILY_BUILDERS
+
+        try:
+            graph = FAMILY_BUILDERS[args.family](args.n)
+        except KeyError:
+            print(f"error: unknown family {args.family!r}; have {sorted(FAMILY_BUILDERS)}", file=sys.stderr)
+            return 2
+        print(format_comparison(graph))
+        return 0
+    parser.error(f"unknown command {args.command!r}")
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,46 @@
+"""Core abstractions: oracles, schemes/algorithms, task runners, separation."""
+
+from .audit import AuditMismatch, AuditReport, replay_audit
+from .construction import TreeConstructionResult, run_tree_construction, verify_parent_outputs
+from .election import FOLLOWER, LEADER, ElectionResult, run_election
+from .gossip import GOSSIP_KIND, GossipResult, rumor_of, run_gossip
+from .oracle import AdviceMap, advice_from_json, advice_to_json, FullMapOracle, NullOracle, Oracle, TruncatingOracle
+from .scheme import Algorithm, FunctionalAlgorithm, FunctionalScheme, History, sends
+from .separation import SeparationPoint, separation_point, separation_profile
+from .tasks import TaskResult, default_message_limit, run_broadcast, run_wakeup
+
+__all__ = [
+    "LEADER",
+    "FOLLOWER",
+    "ElectionResult",
+    "run_election",
+    "AuditReport",
+    "AuditMismatch",
+    "replay_audit",
+    "TreeConstructionResult",
+    "run_tree_construction",
+    "verify_parent_outputs",
+    "GOSSIP_KIND",
+    "GossipResult",
+    "rumor_of",
+    "run_gossip",
+    "Oracle",
+    "AdviceMap",
+    "advice_to_json",
+    "advice_from_json",
+    "NullOracle",
+    "FullMapOracle",
+    "TruncatingOracle",
+    "Algorithm",
+    "History",
+    "FunctionalScheme",
+    "FunctionalAlgorithm",
+    "sends",
+    "TaskResult",
+    "run_broadcast",
+    "run_wakeup",
+    "default_message_limit",
+    "SeparationPoint",
+    "separation_point",
+    "separation_profile",
+]

@@ -1,0 +1,194 @@
+"""Oracles: the paper's model of knowledge about the network.
+
+An oracle is a function ``O`` from networks to advice assignments: for a
+network ``G = (V, E)``, ``O(G)`` is a function ``f : V -> {0,1}*`` giving a
+binary string to every node.  Its **size** on ``G`` is the total number of
+bits over all nodes — the quantity whose minimum, for a task to be solvable
+efficiently, measures the difficulty of the task.
+
+:class:`Oracle` is the abstract base.  Concrete oracles (the spanning-tree
+wakeup oracle of Theorem 2.1 and the light-tree broadcast oracle of
+Theorem 3.1) live in :mod:`repro.oracles`.  This module also provides the
+two trivial endpoints of the advice spectrum:
+
+* :class:`NullOracle` — no information at all (size 0 everywhere), the
+  regime of the zero-advice baselines;
+* :class:`FullMapOracle` — the entire labeled network serialized to every
+  node (size ``Theta(n * m log n)``), an upper comparator showing how much
+  the paper's oracles *save*.
+
+:class:`TruncatingOracle` wraps another oracle and caps its total size —
+the experimental knob for "what happens below the threshold" in the
+lower-bound drivers.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, Hashable, Mapping
+
+from ..encoding import BitString, encode_fixed
+from ..network.graph import PortLabeledGraph
+
+__all__ = [
+    "AdviceMap",
+    "Oracle",
+    "NullOracle",
+    "FullMapOracle",
+    "TruncatingOracle",
+    "advice_to_json",
+    "advice_from_json",
+]
+
+
+class AdviceMap(Mapping[Hashable, BitString]):
+    """The value ``f = O(G)``: one :class:`BitString` per node.
+
+    Nodes absent from the underlying dict implicitly hold the empty string;
+    :meth:`total_bits` is the oracle size on this network.
+    """
+
+    def __init__(self, strings: Mapping[Hashable, BitString]) -> None:
+        self._strings: Dict[Hashable, BitString] = {
+            v: s for v, s in strings.items() if len(s) > 0
+        }
+
+    def __getitem__(self, node: Hashable) -> BitString:
+        return self._strings.get(node, BitString.empty())
+
+    def __iter__(self):
+        return iter(self._strings)
+
+    def __len__(self) -> int:
+        return len(self._strings)
+
+    def __contains__(self, node) -> bool:  # all nodes have (possibly empty) advice
+        return True
+
+    def total_bits(self) -> int:
+        """The oracle size on this network: sum of all advice lengths."""
+        return sum(len(s) for s in self._strings.values())
+
+    def nonempty_nodes(self) -> int:
+        """How many nodes received at least one bit."""
+        return len(self._strings)
+
+    def __repr__(self) -> str:
+        return f"AdviceMap(total_bits={self.total_bits()}, nonempty={len(self._strings)})"
+
+
+class Oracle(abc.ABC):
+    """A function from networks to advice assignments."""
+
+    @abc.abstractmethod
+    def advise(self, graph: PortLabeledGraph) -> AdviceMap:
+        """Compute ``O(G)``.  The oracle sees the entire labeled network."""
+
+    def size_on(self, graph: PortLabeledGraph) -> int:
+        """The size of this oracle on ``graph`` (total advice bits)."""
+        return self.advise(graph).total_bits()
+
+    @property
+    def name(self) -> str:
+        """Human-readable name used in experiment tables."""
+        return type(self).__name__
+
+
+class NullOracle(Oracle):
+    """The empty oracle: every node gets the empty string (size 0)."""
+
+    def advise(self, graph: PortLabeledGraph) -> AdviceMap:
+        return AdviceMap({})
+
+
+class FullMapOracle(Oracle):
+    """Every node receives a serialization of the whole labeled network.
+
+    The encoding is a straightforward fixed-width port-map dump:
+    ``n`` then, per node in label order, its degree and its
+    ``(port -> neighbor-index)`` table, all in ``ceil(log2(n+1))``-bit
+    fields.  Size is ``Theta(n * (n + m) log n)`` — the heavyweight end of
+    the spectrum against which Theorems 2.1/3.1 economize.
+    """
+
+    def advise(self, graph: PortLabeledGraph) -> AdviceMap:
+        blob = self.encode_graph(graph)
+        return AdviceMap({v: blob for v in graph.nodes()})
+
+    @staticmethod
+    def encode_graph(graph: PortLabeledGraph) -> BitString:
+        """Serialize the network once (per-node advice is this same blob)."""
+        order = sorted(graph.nodes(), key=repr)
+        index = {v: i for i, v in enumerate(order)}
+        n = len(order)
+        width = max(1, n.bit_length())
+        parts = [encode_fixed(n, width)]
+        for v in order:
+            deg = graph.degree(v)
+            parts.append(encode_fixed(deg, width))
+            for port in range(deg):
+                parts.append(encode_fixed(index[graph.neighbor_via(v, port)], width))
+        return BitString.concat(parts)
+
+
+class TruncatingOracle(Oracle):
+    """Cap another oracle's total size at ``budget`` bits.
+
+    Advice strings are truncated node-by-node in label order until the budget
+    is exhausted.  This deliberately *breaks* downstream algorithms — that is
+    the point: the lower-bound experiments measure what efficiency survives
+    when the information is not there.
+    """
+
+    def __init__(self, inner: Oracle, budget: int) -> None:
+        if budget < 0:
+            raise ValueError("budget must be non-negative")
+        self._inner = inner
+        self._budget = budget
+
+    def advise(self, graph: PortLabeledGraph) -> AdviceMap:
+        full = self._inner.advise(graph)
+        remaining = self._budget
+        out: Dict[Hashable, BitString] = {}
+        for v in sorted(full, key=repr):
+            s = full[v]
+            if remaining <= 0:
+                break
+            if len(s) <= remaining:
+                out[v] = s
+                remaining -= len(s)
+            else:
+                out[v] = s[:remaining]
+                remaining = 0
+        return AdviceMap(out)
+
+    @property
+    def name(self) -> str:
+        return f"{self._inner.name}|cap={self._budget}"
+
+
+def advice_to_json(advice: AdviceMap) -> str:
+    """Serialize an advice assignment to JSON (``{node_repr: bits}``).
+
+    Node labels are stored via ``repr`` (int/str/tuple labels round-trip
+    through :func:`advice_from_json`'s ``literal_eval``); bit strings are
+    stored as ``'0'``/``'1'`` text so the file is diff-able.  Lets a
+    computed oracle output be checked into a repository as a fixture and
+    replayed without rebuilding the network.
+    """
+    import json
+
+    return json.dumps(
+        {repr(v): advice[v].to01() for v in sorted(advice, key=repr)}, sort_keys=True
+    )
+
+
+def advice_from_json(text: str) -> AdviceMap:
+    """Inverse of :func:`advice_to_json`."""
+    import json
+    from ast import literal_eval
+
+    from ..encoding import BitString
+
+    raw = json.loads(text)
+    return AdviceMap({literal_eval(key): BitString(bits) for key, bits in raw.items()})

@@ -1,0 +1,58 @@
+"""Bit-string and integer-coding substrate.
+
+Everything the paper's oracles need to turn structural information (spanning
+trees, port numbers, edge weights) into advice strings of certified length.
+"""
+
+from .bitstring import BitReader, BitString
+from .codes import (
+    code_length,
+    decode_doubled,
+    decode_elias_delta,
+    decode_elias_gamma,
+    decode_fixed,
+    decode_paired,
+    decode_paired_list,
+    encode_binary,
+    encode_doubled,
+    encode_elias_delta,
+    encode_elias_gamma,
+    encode_fixed,
+    encode_paired,
+    encode_paired_list,
+)
+from .portcodes import (
+    children_ports_code_length,
+    decode_children_ports,
+    decode_weight_list,
+    encode_children_ports,
+    encode_weight_list,
+    port_field_width,
+    weight_list_code_length,
+)
+
+__all__ = [
+    "BitReader",
+    "BitString",
+    "code_length",
+    "encode_binary",
+    "encode_fixed",
+    "decode_fixed",
+    "encode_doubled",
+    "decode_doubled",
+    "encode_paired",
+    "decode_paired",
+    "encode_paired_list",
+    "decode_paired_list",
+    "encode_elias_gamma",
+    "decode_elias_gamma",
+    "encode_elias_delta",
+    "decode_elias_delta",
+    "port_field_width",
+    "encode_children_ports",
+    "decode_children_ports",
+    "children_ports_code_length",
+    "encode_weight_list",
+    "decode_weight_list",
+    "weight_list_code_length",
+]

@@ -1,0 +1,230 @@
+"""Immutable bit strings.
+
+The paper models oracle advice as elements of ``{0, 1}*``: finite binary
+strings assigned to nodes.  :class:`BitString` is the library-wide value type
+for such strings.  It is immutable, hashable, cheap to concatenate and slice,
+and backed by a Python integer (MSB-first), so a million-bit advice string
+costs a couple of hundred kilobytes rather than a tuple of objects.
+
+:class:`BitReader` provides sequential decoding on top of a
+:class:`BitString`; every codec in :mod:`repro.encoding.codes` consumes bits
+through it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Union
+
+__all__ = ["BitString", "BitReader"]
+
+_BitsLike = Union["BitString", Iterable[int], str]
+
+
+class BitString:
+    """An immutable sequence of bits.
+
+    Bits are stored MSB-first in an internal integer together with an
+    explicit length, so leading zero bits are preserved (``BitString("0001")``
+    has length 4).
+
+    Construction accepts another :class:`BitString`, an iterable of ``0``/``1``
+    integers, or a string of ``'0'``/``'1'`` characters::
+
+        >>> BitString("1010")
+        BitString('1010')
+        >>> BitString([1, 0]) + BitString("11")
+        BitString('1011')
+    """
+
+    __slots__ = ("_value", "_length")
+
+    def __init__(self, bits: _BitsLike = ()) -> None:
+        if isinstance(bits, BitString):
+            self._value = bits._value
+            self._length = bits._length
+            return
+        value = 0
+        length = 0
+        if isinstance(bits, str):
+            for ch in bits:
+                if ch == "0":
+                    value = value << 1
+                elif ch == "1":
+                    value = (value << 1) | 1
+                else:
+                    raise ValueError(f"invalid character {ch!r} in bit string")
+                length += 1
+        else:
+            for bit in bits:
+                if bit not in (0, 1):
+                    raise ValueError(f"invalid bit {bit!r}; expected 0 or 1")
+                value = (value << 1) | bit
+                length += 1
+        self._value = value
+        self._length = length
+
+    # ------------------------------------------------------------------
+    # Alternate constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_int(cls, value: int, width: int) -> "BitString":
+        """The ``width``-bit big-endian representation of ``value``.
+
+        Raises :class:`ValueError` if ``value`` does not fit in ``width``
+        bits or is negative.
+        """
+        if value < 0:
+            raise ValueError("value must be non-negative")
+        if width < 0:
+            raise ValueError("width must be non-negative")
+        if value >> width:
+            raise ValueError(f"value {value} does not fit in {width} bits")
+        out = cls.__new__(cls)
+        out._value = value
+        out._length = width
+        return out
+
+    @classmethod
+    def empty(cls) -> "BitString":
+        """The empty string (the advice the oracle gives to leaves)."""
+        return _EMPTY
+
+    # ------------------------------------------------------------------
+    # Sequence protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._length
+
+    def __bool__(self) -> bool:
+        return self._length > 0
+
+    def __iter__(self) -> Iterator[int]:
+        length = self._length
+        value = self._value
+        for i in range(length - 1, -1, -1):
+            yield (value >> i) & 1
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            start, stop, step = index.indices(self._length)
+            if step == 1:
+                width = max(0, stop - start)
+                if width == 0:
+                    return _EMPTY
+                shifted = self._value >> (self._length - stop)
+                return BitString.from_int(shifted & ((1 << width) - 1), width)
+            return BitString([self[i] for i in range(start, stop, step)])
+        if index < 0:
+            index += self._length
+        if not 0 <= index < self._length:
+            raise IndexError("bit index out of range")
+        return (self._value >> (self._length - 1 - index)) & 1
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+    def __add__(self, other: "BitString") -> "BitString":
+        if not isinstance(other, BitString):
+            return NotImplemented
+        out = BitString.__new__(BitString)
+        out._value = (self._value << other._length) | other._value
+        out._length = self._length + other._length
+        return out
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BitString):
+            return NotImplemented
+        return self._value == other._value and self._length == other._length
+
+    def __hash__(self) -> int:
+        return hash((self._value, self._length))
+
+    def to_int(self) -> int:
+        """Interpret the whole string as a big-endian integer."""
+        return self._value
+
+    def to01(self) -> str:
+        """Render as a string of ``'0'``/``'1'`` characters."""
+        if self._length == 0:
+            return ""
+        return format(self._value, f"0{self._length}b")
+
+    def __repr__(self) -> str:
+        return f"BitString('{self.to01()}')"
+
+    @staticmethod
+    def concat(parts: Iterable["BitString"]) -> "BitString":
+        """Concatenate many bit strings efficiently."""
+        value = 0
+        length = 0
+        for part in parts:
+            value = (value << part._length) | part._value
+            length += part._length
+        out = BitString.__new__(BitString)
+        out._value = value
+        out._length = length
+        return out
+
+
+_EMPTY = BitString()
+
+
+class BitReader:
+    """Sequential reader over a :class:`BitString`.
+
+    Decoders pull bits through a reader so that several codewords can be
+    concatenated in one advice string and decoded in order — exactly how the
+    paper's oracles pack information.
+    """
+
+    __slots__ = ("_bits", "_pos")
+
+    def __init__(self, bits: BitString) -> None:
+        self._bits = BitString(bits)
+        self._pos = 0
+
+    @property
+    def position(self) -> int:
+        """Number of bits consumed so far."""
+        return self._pos
+
+    @property
+    def remaining(self) -> int:
+        """Number of bits not yet consumed."""
+        return len(self._bits) - self._pos
+
+    def exhausted(self) -> bool:
+        """True when every bit has been consumed."""
+        return self.remaining == 0
+
+    def peek_bit(self) -> int:
+        """Return the next bit without consuming it."""
+        if self.remaining == 0:
+            raise EOFError("no bits left to peek")
+        return self._bits[self._pos]
+
+    def read_bit(self) -> int:
+        """Consume and return a single bit."""
+        if self.remaining == 0:
+            raise EOFError("no bits left to read")
+        bit = self._bits[self._pos]
+        self._pos += 1
+        return bit
+
+    def read(self, width: int) -> BitString:
+        """Consume ``width`` bits and return them as a :class:`BitString`."""
+        if width < 0:
+            raise ValueError("width must be non-negative")
+        if width > self.remaining:
+            raise EOFError(f"requested {width} bits, only {self.remaining} left")
+        out = self._bits[self._pos : self._pos + width]
+        self._pos += width
+        return out
+
+    def read_int(self, width: int) -> int:
+        """Consume ``width`` bits and return their big-endian integer value."""
+        return self.read(width).to_int()
+
+    def read_rest(self) -> BitString:
+        """Consume and return all remaining bits."""
+        return self.read(self.remaining)

@@ -1,0 +1,194 @@
+"""Integer codes used by the paper's oracles.
+
+The paper needs three coding ingredients:
+
+* ``#2(w)`` — the length of the standard binary representation of a
+  non-negative integer ``w`` (Section 3): ``1`` if ``w <= 1``, else
+  ``floor(log2 w) + 1``.  :func:`code_length` implements it and
+  :func:`encode_binary` produces the representation itself.
+* The *doubled-bit* self-delimiting code of Theorem 2.1: the binary
+  representation ``b1 ... br`` of a value is emitted as
+  ``b1 b1 b2 b2 ... br br 1 0`` — a decoder scans bit pairs until it meets
+  the unequal pair ``10``.  This costs ``2 #2(w) + 2`` bits and lets a
+  fixed-width field size (``ceil(log n)`` in the paper) be recovered without
+  knowing ``n``.  :func:`encode_doubled` / :func:`decode_doubled`.
+* A *paired continuation* code used for packing several weights into one
+  string at exactly ``2 * sum #2(w_i)`` bits (Theorem 3.1 packs the weights
+  ``w(e_1), ..., w(e_t)`` this way): every data bit is followed by a
+  continuation bit that is ``1`` for all but the last bit of each integer.
+  :func:`encode_paired` / :func:`decode_paired`.
+
+Elias gamma and delta codes are provided as well-known comparators for the
+benchmarks (they are *not* used by the paper's constructions, but the E3/E4
+benches report how close the paper's ad-hoc codes come to them).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from .bitstring import BitReader, BitString
+
+__all__ = [
+    "code_length",
+    "encode_binary",
+    "encode_fixed",
+    "decode_fixed",
+    "encode_doubled",
+    "decode_doubled",
+    "encode_paired",
+    "decode_paired",
+    "encode_paired_list",
+    "decode_paired_list",
+    "encode_elias_gamma",
+    "decode_elias_gamma",
+    "encode_elias_delta",
+    "decode_elias_delta",
+]
+
+
+def code_length(value: int) -> int:
+    """The paper's ``#2(w)``: bits in the standard binary representation.
+
+    ``#2(w) = 1`` if ``w <= 1`` and ``floor(log2 w) + 1`` otherwise.
+    """
+    if value < 0:
+        raise ValueError("value must be non-negative")
+    if value <= 1:
+        return 1
+    return value.bit_length()
+
+
+def encode_binary(value: int) -> BitString:
+    """Standard binary representation of ``value``, of length ``#2(value)``."""
+    return BitString.from_int(value, code_length(value))
+
+
+def encode_fixed(value: int, width: int) -> BitString:
+    """``width``-bit representation (the paper's ``ceil(log n)`` port fields)."""
+    return BitString.from_int(value, width)
+
+
+def decode_fixed(reader: BitReader, width: int) -> int:
+    """Inverse of :func:`encode_fixed`."""
+    return reader.read_int(width)
+
+
+# ----------------------------------------------------------------------
+# Doubled-bit self-delimiting code (Theorem 2.1's "beta" sequence)
+# ----------------------------------------------------------------------
+def encode_doubled(value: int) -> BitString:
+    """Encode ``value`` as ``b1 b1 ... br br 1 0`` (self-delimiting).
+
+    This is exactly the sequence *beta* from the proof of Theorem 2.1, used
+    there to announce the field width ``ceil(log n)``.  Length is
+    ``2 * #2(value) + 2``.
+    """
+    bits: List[int] = []
+    for bit in encode_binary(value):
+        bits.append(bit)
+        bits.append(bit)
+    bits.append(1)
+    bits.append(0)
+    return BitString(bits)
+
+
+def decode_doubled(reader: BitReader) -> int:
+    """Inverse of :func:`encode_doubled`; consumes through the ``10`` mark."""
+    bits: List[int] = []
+    while True:
+        first = reader.read_bit()
+        second = reader.read_bit()
+        if first == second:
+            bits.append(first)
+        elif first == 1 and second == 0:
+            break
+        else:
+            raise ValueError("malformed doubled-bit code: pair '01' before terminator")
+    if not bits:
+        raise ValueError("malformed doubled-bit code: empty payload")
+    return BitString(bits).to_int()
+
+
+# ----------------------------------------------------------------------
+# Paired-continuation code (Theorem 3.1's weight packing, 2*#2(w) bits)
+# ----------------------------------------------------------------------
+def encode_paired(value: int) -> BitString:
+    """Encode ``value`` in exactly ``2 * #2(value)`` self-delimiting bits.
+
+    Every data bit is followed by a continuation flag: ``1`` after every bit
+    except the last, ``0`` after the last.  This realizes the paper's claim
+    that ``t`` weights can be packed into one string of length
+    ``2 * sum_i #2(w_i)``.
+    """
+    raw = encode_binary(value)
+    bits: List[int] = []
+    last = len(raw) - 1
+    for i, bit in enumerate(raw):
+        bits.append(bit)
+        bits.append(0 if i == last else 1)
+    return BitString(bits)
+
+
+def decode_paired(reader: BitReader) -> int:
+    """Inverse of :func:`encode_paired`."""
+    bits: List[int] = []
+    while True:
+        bits.append(reader.read_bit())
+        if reader.read_bit() == 0:
+            return BitString(bits).to_int()
+
+
+def encode_paired_list(values: Iterable[int]) -> BitString:
+    """Pack many integers with :func:`encode_paired` into one string."""
+    return BitString.concat(encode_paired(v) for v in values)
+
+
+def decode_paired_list(bits: BitString) -> List[int]:
+    """Unpack a string produced by :func:`encode_paired_list` entirely."""
+    reader = BitReader(bits)
+    values: List[int] = []
+    while not reader.exhausted():
+        values.append(decode_paired(reader))
+    return values
+
+
+# ----------------------------------------------------------------------
+# Elias codes (comparators for the benchmarks)
+# ----------------------------------------------------------------------
+def encode_elias_gamma(value: int) -> BitString:
+    """Elias gamma code of a *positive* integer: unary length then offset."""
+    if value < 1:
+        raise ValueError("Elias gamma encodes positive integers only")
+    width = value.bit_length()
+    prefix = BitString.from_int(0, width - 1)
+    return prefix + BitString.from_int(value, width)
+
+
+def decode_elias_gamma(reader: BitReader) -> int:
+    """Inverse of :func:`encode_elias_gamma`."""
+    zeros = 0
+    while reader.read_bit() == 0:
+        zeros += 1
+    if zeros == 0:
+        return 1
+    return (1 << zeros) | reader.read_int(zeros)
+
+
+def encode_elias_delta(value: int) -> BitString:
+    """Elias delta code of a *positive* integer."""
+    if value < 1:
+        raise ValueError("Elias delta encodes positive integers only")
+    width = value.bit_length()
+    gamma = encode_elias_gamma(width)
+    if width == 1:
+        return gamma
+    return gamma + BitString.from_int(value & ((1 << (width - 1)) - 1), width - 1)
+
+
+def decode_elias_delta(reader: BitReader) -> int:
+    """Inverse of :func:`encode_elias_delta`."""
+    width = decode_elias_gamma(reader)
+    if width == 1:
+        return 1
+    return (1 << (width - 1)) | reader.read_int(width - 1)

@@ -1,0 +1,130 @@
+"""Codecs that realize the advice formats of Theorems 2.1 and 3.1.
+
+**Children-port codec (Theorem 2.1).**  The wakeup oracle gives every
+internal node of a rooted spanning tree the list of port numbers leading to
+its children.  The paper encodes ``c(v)`` port numbers in
+``c(v) * ceil(log n) + O(log log n)`` bits: a fixed-width field per port plus
+a self-delimiting *doubled-bit* announcement of the field width (the *beta*
+sequence).  We emit the width announcement first, then the fixed-width
+fields, which has the same length as the paper's ``alpha . beta`` layout but
+decodes left-to-right.  Crucially, the codeword is self-contained: a node can
+decode it without knowing ``n`` — which is what lets the upper bound hold for
+anonymous nodes.
+
+**Weight-list codec (Theorem 3.1).**  The broadcast oracle gives a node the
+binary representations of the weights ``w(e_1), ..., w(e_t)`` of some tree
+edges, packed in one string of length exactly ``2 * sum_i #2(w(e_i))`` via
+the paired-continuation code.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from .bitstring import BitReader, BitString
+from .codes import (
+    code_length,
+    decode_doubled,
+    decode_paired,
+    encode_doubled,
+    encode_fixed,
+)
+
+__all__ = [
+    "port_field_width",
+    "encode_children_ports",
+    "decode_children_ports",
+    "children_ports_code_length",
+    "encode_weight_list",
+    "decode_weight_list",
+    "weight_list_code_length",
+]
+
+
+def port_field_width(n: int) -> int:
+    """Fixed field width used for port numbers: ``ceil(log2 n)``, at least 1.
+
+    Port numbers in an ``n``-node network are at most ``n - 2``, so they fit
+    in ``ceil(log2 n)`` bits.
+    """
+    if n < 1:
+        raise ValueError("n must be positive")
+    return max(1, (n - 1).bit_length())
+
+
+def encode_children_ports(ports: Sequence[int], n: int) -> BitString:
+    """Encode the ports leading to a node's children (Theorem 2.1 advice).
+
+    Returns the empty string for a leaf (no children), matching the paper:
+    "the string f(v) is empty if v is a leaf of T".  Otherwise the codeword is
+    ``doubled(width) . fixed(port_1) ... fixed(port_c)`` with
+    ``width = ceil(log2 n)``, for a total of
+    ``c * ceil(log n) + 2 #2(ceil(log n)) + 2`` bits.
+    """
+    if not ports:
+        return BitString.empty()
+    width = port_field_width(n)
+    parts: List[BitString] = [encode_doubled(width)]
+    for port in ports:
+        if port < 0:
+            raise ValueError("port numbers are non-negative")
+        parts.append(encode_fixed(port, width))
+    return BitString.concat(parts)
+
+
+def decode_children_ports(advice: BitString) -> List[int]:
+    """Inverse of :func:`encode_children_ports`.
+
+    The empty string decodes to no children.  Decoding needs no external
+    parameters — the field width travels inside the codeword.
+    """
+    if len(advice) == 0:
+        return []
+    reader = BitReader(advice)
+    width = decode_doubled(reader)
+    if width <= 0:
+        raise ValueError("malformed children-port code: width must be positive")
+    if reader.remaining % width != 0:
+        raise ValueError("malformed children-port code: trailing bits")
+    ports: List[int] = []
+    while not reader.exhausted():
+        ports.append(reader.read_int(width))
+    return ports
+
+
+def children_ports_code_length(num_children: int, n: int) -> int:
+    """Exact bit length of :func:`encode_children_ports` output."""
+    if num_children == 0:
+        return 0
+    width = port_field_width(n)
+    return num_children * width + 2 * code_length(width) + 2
+
+
+def encode_weight_list(weights: Sequence[int]) -> BitString:
+    """Pack edge weights into ``2 * sum_i #2(w_i)`` bits (Theorem 3.1 advice)."""
+    parts: List[BitString] = []
+    for weight in weights:
+        if weight < 0:
+            raise ValueError("weights are non-negative")
+        raw_width = code_length(weight)
+        bits: List[int] = []
+        value = weight
+        for i in range(raw_width - 1, -1, -1):
+            bits.append((value >> i) & 1)
+            bits.append(1 if i > 0 else 0)
+        parts.append(BitString(bits))
+    return BitString.concat(parts)
+
+
+def decode_weight_list(advice: BitString) -> List[int]:
+    """Inverse of :func:`encode_weight_list`; the empty string decodes to []."""
+    reader = BitReader(advice)
+    weights: List[int] = []
+    while not reader.exhausted():
+        weights.append(decode_paired(reader))
+    return weights
+
+
+def weight_list_code_length(weights: Sequence[int]) -> int:
+    """Exact bit length of :func:`encode_weight_list` output."""
+    return 2 * sum(code_length(w) for w in weights)

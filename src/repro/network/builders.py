@@ -1,0 +1,249 @@
+"""Stock network topologies with explicit port labelings.
+
+Two kinds of builders live here:
+
+* The paper's canonical labeled complete graph ``K*_n``
+  (:func:`complete_graph_star`), which both lower-bound constructions start
+  from.  The paper labels the port at node ``i`` of the edge to ``j`` as
+  ``(i - j) mod (n - 1)``; as stated that map is not injective for interior
+  ``i`` (ports of ``j`` and ``j + n - 1`` collide), so we use the standard
+  *rotational* labeling ``(j - i - 1) mod n``, which is a bijection onto
+  ``{0, ..., n - 2}`` at every node and serves the identical role in the
+  proofs: a fixed, explicit, canonical port labeling of ``K_n``.
+* General families used by the benchmarks and tests: paths, cycles, stars,
+  complete bipartite graphs, grids, hypercubes, balanced trees, random trees,
+  connected Erdős–Rényi graphs, and random regular graphs.  Every random
+  builder takes a :class:`random.Random` for reproducibility; every builder
+  returns a frozen, validated :class:`PortLabeledGraph` with node ``1``
+  (or the family's natural origin) as source.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+import networkx as nx
+
+from .graph import GraphError, PortLabeledGraph
+
+__all__ = [
+    "complete_graph_star",
+    "path_graph",
+    "cycle_graph",
+    "star_graph",
+    "complete_bipartite",
+    "grid_graph",
+    "hypercube_graph",
+    "balanced_tree",
+    "random_tree",
+    "random_connected_gnp",
+    "random_regular",
+    "lollipop_graph",
+    "barbell_graph",
+    "wheel_graph",
+    "caterpillar_graph",
+    "FAMILY_BUILDERS",
+]
+
+
+def complete_graph_star(n: int) -> PortLabeledGraph:
+    """The canonically port-labeled complete graph ``K*_n``.
+
+    Nodes are labeled ``1..n``; the port at node ``i`` of the edge towards
+    node ``j`` is ``(j - i - 1) mod n``, a bijection onto ``{0, ..., n - 2}``
+    at every node.  Node ``1`` is the source, as in both lower-bound proofs.
+    """
+    if n < 2:
+        raise GraphError("K*_n needs n >= 2")
+    g = PortLabeledGraph()
+    for i in range(1, n + 1):
+        g.add_node(i)
+    for i in range(1, n + 1):
+        for j in range(i + 1, n + 1):
+            g.add_edge(i, j, port_u=(j - i - 1) % n, port_v=(i - j - 1) % n)
+    g.set_source(1)
+    return g.freeze()
+
+
+def _finish(g: nx.Graph, source=None, port_order: str = "sorted", rng=None) -> PortLabeledGraph:
+    out = PortLabeledGraph.from_networkx(g, source=source, port_order=port_order, rng=rng)
+    return out.freeze()
+
+
+def path_graph(n: int, port_order: str = "sorted", rng=None) -> PortLabeledGraph:
+    """Path on nodes ``0..n-1`` with source ``0``."""
+    if n < 1:
+        raise GraphError("path needs n >= 1... and n >= 2 to be a network")
+    return _finish(nx.path_graph(n), source=0, port_order=port_order, rng=rng)
+
+
+def cycle_graph(n: int, port_order: str = "sorted", rng=None) -> PortLabeledGraph:
+    """Cycle on nodes ``0..n-1`` with source ``0``."""
+    if n < 3:
+        raise GraphError("cycle needs n >= 3")
+    return _finish(nx.cycle_graph(n), source=0, port_order=port_order, rng=rng)
+
+
+def star_graph(n: int, center_source: bool = True) -> PortLabeledGraph:
+    """Star with center ``0`` and leaves ``1..n-1``.
+
+    ``center_source=False`` puts the source on leaf ``1``, which maximizes
+    broadcast distance.
+    """
+    if n < 2:
+        raise GraphError("star needs n >= 2")
+    return _finish(nx.star_graph(n - 1), source=0 if center_source else 1)
+
+
+def complete_bipartite(a: int, b: int, port_order: str = "sorted", rng=None) -> PortLabeledGraph:
+    """Complete bipartite graph ``K_{a,b}`` with source on the first side."""
+    if a < 1 or b < 1:
+        raise GraphError("both sides must be non-empty")
+    return _finish(nx.complete_bipartite_graph(a, b), source=0, port_order=port_order, rng=rng)
+
+
+def grid_graph(rows: int, cols: int, port_order: str = "sorted", rng=None) -> PortLabeledGraph:
+    """2D grid with tuple-labeled nodes and source at the origin corner."""
+    if rows < 1 or cols < 1:
+        raise GraphError("grid needs positive dimensions")
+    g = nx.grid_2d_graph(rows, cols)
+    return _finish(g, source=(0, 0), port_order=port_order, rng=rng)
+
+
+def hypercube_graph(dim: int, port_order: str = "sorted", rng=None) -> PortLabeledGraph:
+    """``dim``-dimensional hypercube on ``2^dim`` integer-labeled nodes."""
+    if dim < 1:
+        raise GraphError("hypercube needs dim >= 1")
+    g = nx.hypercube_graph(dim)
+    relabeled = nx.relabel_nodes(
+        g, {v: int("".join(map(str, v)), 2) for v in g.nodes()}
+    )
+    return _finish(relabeled, source=0, port_order=port_order, rng=rng)
+
+
+def balanced_tree(branching: int, height: int) -> PortLabeledGraph:
+    """Complete ``branching``-ary tree of the given height, root as source."""
+    if branching < 1 or height < 1:
+        raise GraphError("balanced tree needs branching >= 1 and height >= 1")
+    return _finish(nx.balanced_tree(branching, height), source=0)
+
+
+def random_tree(n: int, rng: random.Random, port_order: str = "sorted") -> PortLabeledGraph:
+    """Uniform random labeled tree on ``0..n-1`` (via a random Prüfer sequence)."""
+    if n < 2:
+        raise GraphError("random tree needs n >= 2")
+    if n == 2:
+        g = nx.path_graph(2)
+    else:
+        prufer = [rng.randrange(n) for __ in range(n - 2)]
+        g = nx.from_prufer_sequence(prufer)
+    return _finish(g, source=0, port_order=port_order, rng=rng)
+
+
+def random_connected_gnp(
+    n: int,
+    p: float,
+    rng: random.Random,
+    port_order: str = "sorted",
+    max_tries: int = 200,
+) -> PortLabeledGraph:
+    """Connected Erdős–Rényi ``G(n, p)``.
+
+    Samples until connected (up to ``max_tries``); if ``p`` is too small for
+    connectivity to be likely, a uniform random spanning tree worth of edges
+    is added to the last sample instead of failing, so the builder is total.
+    """
+    if n < 2:
+        raise GraphError("G(n, p) needs n >= 2")
+    if not 0.0 <= p <= 1.0:
+        raise GraphError("p must be in [0, 1]")
+    g: Optional[nx.Graph] = None
+    for __ in range(max_tries):
+        g = nx.gnp_random_graph(n, p, seed=rng.randrange(2**32))
+        if nx.is_connected(g):
+            return _finish(g, source=0, port_order=port_order, rng=rng)
+    assert g is not None
+    order = list(g.nodes())
+    rng.shuffle(order)
+    for prev, cur in zip(order, order[1:]):
+        if not nx.has_path(g, prev, cur):
+            g.add_edge(prev, cur)
+    return _finish(g, source=0, port_order=port_order, rng=rng)
+
+
+def random_regular(n: int, degree: int, rng: random.Random, port_order: str = "sorted") -> PortLabeledGraph:
+    """Connected random ``degree``-regular graph on ``0..n-1``."""
+    if degree * n % 2 != 0:
+        raise GraphError("degree * n must be even")
+    if degree >= n:
+        raise GraphError("degree must be < n")
+    for __ in range(200):
+        g = nx.random_regular_graph(degree, n, seed=rng.randrange(2**32))
+        if nx.is_connected(g):
+            return _finish(g, source=0, port_order=port_order, rng=rng)
+    raise GraphError("could not sample a connected regular graph")
+
+
+def lollipop_graph(clique: int, tail: int, source_in_clique: bool = True) -> PortLabeledGraph:
+    """A ``clique``-clique with a ``tail``-node path attached.
+
+    The classic worst case for sequential token traversal; with the source
+    in the clique, flooding pays the clique before the tail hears anything.
+    """
+    if clique < 3 or tail < 1:
+        raise GraphError("lollipop needs clique >= 3 and tail >= 1")
+    g = nx.lollipop_graph(clique, tail)
+    source = 0 if source_in_clique else clique + tail - 1
+    return _finish(g, source=source)
+
+
+def barbell_graph(bell: int, bridge: int) -> PortLabeledGraph:
+    """Two ``bell``-cliques joined by a ``bridge``-node path; source in one bell."""
+    if bell < 3 or bridge < 0:
+        raise GraphError("barbell needs bell >= 3 and bridge >= 0")
+    g = nx.barbell_graph(bell, bridge)
+    return _finish(g, source=0)
+
+
+def wheel_graph(n: int, center_source: bool = False) -> PortLabeledGraph:
+    """Wheel on ``n`` nodes (hub 0 + cycle); source on the rim by default."""
+    if n < 4:
+        raise GraphError("wheel needs n >= 4")
+    g = nx.wheel_graph(n)
+    return _finish(g, source=0 if center_source else 1)
+
+
+def caterpillar_graph(spine: int, legs_per_node: int) -> PortLabeledGraph:
+    """A spine path with ``legs_per_node`` leaves hanging off every spine node."""
+    if spine < 2 or legs_per_node < 0:
+        raise GraphError("caterpillar needs spine >= 2 and legs >= 0")
+    g = nx.Graph()
+    g.add_nodes_from(range(spine))
+    for a, b in zip(range(spine), range(1, spine)):
+        g.add_edge(a, b)
+    next_label = spine
+    for s in range(spine):
+        for __ in range(legs_per_node):
+            g.add_node(next_label)
+            g.add_edge(s, next_label)
+            next_label += 1
+    return _finish(g, source=0)
+
+
+#: Named builders of ``n -> graph`` used by sweeps and benchmarks.  Random
+#: families get a fixed seed derived from ``n`` so sweeps are reproducible.
+FAMILY_BUILDERS = {
+    "path": lambda n: path_graph(n),
+    "cycle": lambda n: cycle_graph(max(3, n)),
+    "star": lambda n: star_graph(n),
+    "complete": lambda n: complete_graph_star(n),
+    "grid": lambda n: grid_graph(max(1, int(n**0.5)), max(1, (n + int(n**0.5) - 1) // max(1, int(n**0.5)))),
+    "random_tree": lambda n: random_tree(n, random.Random(10_000 + n)),
+    "gnp_sparse": lambda n: random_connected_gnp(n, min(1.0, 3.0 / max(1, n - 1)), random.Random(20_000 + n)),
+    "gnp_dense": lambda n: random_connected_gnp(n, 0.5, random.Random(30_000 + n)),
+    "lollipop": lambda n: lollipop_graph(max(3, n // 2), max(1, n - max(3, n // 2))),
+    "barbell": lambda n: barbell_graph(max(3, n // 2), max(0, n - 2 * max(3, n // 2))),
+    "wheel": lambda n: wheel_graph(max(4, n)),
+    "caterpillar": lambda n: caterpillar_graph(max(2, n // 4), 3),
+}

@@ -1,0 +1,198 @@
+"""Lower-bound gadget families.
+
+Both lower bounds in the paper are proved on families of graphs obtained by
+local surgery on the canonically labeled complete graph ``K*_n``:
+
+* **Subdivision family** ``G_{n,S}`` (Theorem 2.2).  For an ``n``-tuple
+  ``S = (e_1, ..., e_n)`` of distinct edges of ``K*_n``, each ``e_i =
+  {u_i, v_i}`` is subdivided by a fresh node ``w_i`` labeled ``n + i``.  The
+  surgery is *port-invisible* from the old endpoints: the edge
+  ``{u_i, w_i}`` keeps, at ``u_i``, the port that ``e_i`` used, and likewise
+  at ``v_i``; at ``w_i`` port 0 leads to the endpoint with the smaller label
+  and port 1 to the other.  A wakeup algorithm therefore cannot tell a
+  subdivided edge from an intact one without sending a message into it —
+  which is exactly what the adversary of Lemma 2.1 exploits.
+
+* **Clique-substitution family** ``G_{n,S,C}`` (Theorem 3.2).  For an
+  ``(n/k)``-tuple ``S`` of distinct edges of ``K*_n`` and a choice ``C``
+  of one internal clique edge per index, edge ``e_i = {u_i, v_i}`` (with
+  ``id(u_i) < id(v_i)``) is replaced by a ``k``-clique ``H_i`` on labels
+  ``n + (i-1)k + 1 .. n + ik`` from which the internal edge
+  ``f_i = {a_i, b_i}`` has been removed; ``a_i`` is wired to ``u_i`` and
+  ``b_i`` to ``v_i``, again reusing the removed edges' ports on every side.
+  All clique nodes end up with degree ``k - 1``.
+
+Like :func:`repro.network.builders.complete_graph_star`, internal clique
+ports use the rotational labeling ``(b - a - 1) mod k`` (a bijection onto
+``{0, ..., k - 2}``) in place of the paper's non-injective
+``(a - b) mod (k - 1)``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Sequence, Tuple
+
+from .builders import complete_graph_star
+from .graph import Edge, GraphError, PortLabeledGraph, edge_key
+
+__all__ = [
+    "subdivide_edges",
+    "sample_edge_tuple",
+    "subdivision_family_graph",
+    "clique_substitution",
+    "sample_clique_choices",
+    "clique_family_graph",
+    "clique_node_labels",
+    "subdivision_instance_count_log2",
+]
+
+
+def sample_edge_tuple(n: int, count: int, rng: random.Random) -> List[Edge]:
+    """Sample ``count`` distinct edges of ``K*_n``, uniformly, in order.
+
+    The *order* matters: in ``G_{n,S}`` the label of the hidden node on the
+    ``i``-th edge is ``n + i``, so a tuple, not a set, is sampled.
+    """
+    all_edges = [(i, j) for i in range(1, n + 1) for j in range(i + 1, n + 1)]
+    if count > len(all_edges):
+        raise GraphError(f"cannot pick {count} distinct edges from K*_{n}")
+    return rng.sample(all_edges, count)
+
+
+def subdivide_edges(graph: PortLabeledGraph, edges: Sequence[Edge], labels: Sequence) -> PortLabeledGraph:
+    """Subdivide each edge in ``edges``, inserting nodes with the given labels.
+
+    Port rules per the paper: old endpoints keep their ports; at the new node
+    port 0 leads to the smaller-labeled endpoint and port 1 to the other.
+    Returns a new frozen graph; the input is not modified.
+    """
+    if len(edges) != len(labels):
+        raise GraphError("need exactly one label per subdivided edge")
+    if len(set(edge_key(*e) for e in edges)) != len(edges):
+        raise GraphError("edges to subdivide must be distinct")
+    out = graph.copy()
+    for (u, v), label in zip(edges, labels):
+        pu = out.port(u, v)
+        pv = out.port(v, u)
+        lo, hi = edge_key(u, v)
+        out.remove_edge(u, v)
+        out.add_node(label)
+        out.add_edge(lo, label, port_u=pu if lo == u else pv, port_v=0)
+        out.add_edge(hi, label, port_u=pv if hi == v else pu, port_v=1)
+    return out.freeze()
+
+
+def subdivision_family_graph(n: int, edge_tuple: Sequence[Edge]) -> PortLabeledGraph:
+    """Build ``G_{n,S}`` from ``K*_n`` and an ``S`` of distinct edges.
+
+    The hidden node on the ``i``-th edge of ``S`` gets label ``n + i`` (the
+    identifier encodes the rank of the edge in ``S``, which is why the
+    adversary must also pin down labels, costing the ``|X|!`` factor in
+    Lemma 2.1).  Node 1 is the source.
+    """
+    base = complete_graph_star(n)
+    labels = [n + i for i in range(1, len(edge_tuple) + 1)]
+    return subdivide_edges(base, list(edge_tuple), labels)
+
+
+def clique_node_labels(n: int, k: int, index: int) -> List[int]:
+    """Global labels of clique ``H_index`` in ``G_{n,S,C}`` (1-based index)."""
+    base = n + (index - 1) * k
+    return [base + a for a in range(1, k + 1)]
+
+
+def sample_clique_choices(count: int, k: int, rng: random.Random) -> List[Tuple[int, int]]:
+    """Sample ``C``: one internal edge ``(a_i, b_i)``, ``a_i < b_i``, per clique."""
+    if k < 2:
+        raise GraphError("cliques need k >= 2")
+    choices: List[Tuple[int, int]] = []
+    for __ in range(count):
+        a = rng.randrange(1, k)
+        b = rng.randrange(a + 1, k + 1)
+        choices.append((a, b))
+    return choices
+
+
+def clique_substitution(
+    n: int,
+    k: int,
+    edge_tuple: Sequence[Edge],
+    choices: Sequence[Tuple[int, int]],
+) -> PortLabeledGraph:
+    """Build ``G_{n,S,C}``: replace each edge of ``S`` by a ``k``-clique gadget.
+
+    ``edge_tuple`` holds ``n/k`` distinct edges of ``K*_n`` (the paper also
+    wants ``4k | n`` for its counting; the builder itself only requires
+    distinctness) and ``choices[i] = (a_i, b_i)`` names the removed internal
+    edge of ``H_{i+1}``.  Every clique node has degree ``k - 1`` in the
+    result.  Node 1 is the source.
+    """
+    if len(edge_tuple) != len(choices):
+        raise GraphError("need exactly one (a, b) choice per substituted edge")
+    if len(set(edge_key(*e) for e in edge_tuple)) != len(edge_tuple):
+        raise GraphError("edges to substitute must be distinct")
+    base = complete_graph_star(n)
+    out = base.copy()
+    for idx, ((u, v), (a, b)) in enumerate(zip(edge_tuple, choices), start=1):
+        if not 1 <= a < b <= k:
+            raise GraphError(f"choice ({a}, {b}) is not a valid clique edge for k={k}")
+        ui, vi = edge_key(u, v)  # id(u_i) < id(v_i), per the paper
+        pu = out.port(ui, vi)
+        pv = out.port(vi, ui)
+        out.remove_edge(ui, vi)
+        labels = clique_node_labels(n, k, idx)
+        for label in labels:
+            out.add_node(label)
+        # Internal clique edges with rotational ports, minus f_i = {a, b}.
+        for x in range(1, k + 1):
+            for y in range(x + 1, k + 1):
+                if (x, y) == (a, b):
+                    continue
+                out.add_edge(
+                    labels[x - 1],
+                    labels[y - 1],
+                    port_u=(y - x - 1) % k,
+                    port_v=(x - y - 1) % k,
+                )
+        # Wire a_i -- u_i and b_i -- v_i, reusing the removed edges' ports.
+        port_a = (b - a - 1) % k
+        port_b = (a - b - 1) % k
+        out.add_edge(labels[a - 1], ui, port_u=port_a, port_v=pu)
+        out.add_edge(labels[b - 1], vi, port_u=port_b, port_v=pv)
+    return out.freeze()
+
+
+def clique_family_graph(
+    n: int, k: int, rng: random.Random
+) -> Tuple[PortLabeledGraph, List[Edge], List[Tuple[int, int]]]:
+    """Sample a random member of ``G_{n,k}``; returns ``(graph, S, C)``."""
+    if n % k != 0:
+        raise GraphError("k must divide n")
+    count = n // k
+    edge_tuple = sample_edge_tuple(n, count, rng)
+    choices = sample_clique_choices(count, k, rng)
+    return clique_substitution(n, k, edge_tuple, choices), edge_tuple, choices
+
+
+def subdivision_instance_count_log2(n: int) -> float:
+    """``log2`` of the number ``P`` of distinct graphs ``G_{n,S}``.
+
+    ``P = m * (m-1) * ... * (m-n+1)`` with ``m = binom(n, 2)`` (ordered
+    tuples of distinct edges).  Used by the counting side of Theorem 2.2.
+    """
+    import math
+
+    m = n * (n - 1) // 2
+    if n > m:
+        raise GraphError("n exceeds the number of edges of K*_n")
+    return (math.lgamma(m + 1) - math.lgamma(m - n + 1)) / math.log(2)
+
+
+# Mapping from gadget nodes back to the hidden structure, used by tests.
+def hidden_structure(n: int, edge_tuple: Sequence[Edge]) -> Dict[int, Edge]:
+    """Map each hidden node label ``n + i`` of ``G_{n,S}`` to its edge ``e_i``."""
+    return {n + i: edge_key(*e) for i, e in enumerate(edge_tuple, start=1)}
+
+
+__all__.append("hidden_structure")

@@ -1,0 +1,359 @@
+"""Port-labeled network model.
+
+The paper's networks are undirected connected graphs in which
+
+* every node has a distinct label,
+* the edges incident to a node ``v`` of degree ``deg(v)`` are locally
+  numbered by *ports* ``0, 1, ..., deg(v) - 1`` (a bijection per node), and
+* one node is distinguished as the *source*.
+
+:class:`PortLabeledGraph` implements exactly that model.  Ports are the
+load-bearing feature: algorithms address messages by local port number, not
+by neighbor identity, and the broadcast oracle of Theorem 3.1 derives edge
+weights ``w(e) = min(port_u(e), port_v(e))`` from them.
+
+The class is mutable during construction and is expected to be frozen
+(:meth:`PortLabeledGraph.freeze`) before simulation; the task runners freeze
+defensively.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterator, List, Optional, Tuple
+
+import networkx as nx
+
+__all__ = ["PortLabeledGraph", "GraphError", "edge_key"]
+
+Node = Hashable
+Edge = Tuple[Node, Node]
+
+
+class GraphError(ValueError):
+    """Raised when a graph operation would violate the network model."""
+
+
+def edge_key(u: Node, v: Node) -> Edge:
+    """Canonical representation of the undirected edge ``{u, v}``.
+
+    Endpoints are ordered by their sort key so that ``edge_key(u, v) ==
+    edge_key(v, u)``; mixed-type labels fall back to a repr-based order.
+    """
+    try:
+        return (u, v) if u <= v else (v, u)  # type: ignore[operator]
+    except TypeError:
+        return (u, v) if repr(u) <= repr(v) else (v, u)
+
+
+class PortLabeledGraph:
+    """An undirected connected graph with per-node port numbering.
+
+    Typical construction::
+
+        g = PortLabeledGraph()
+        for v in range(4):
+            g.add_node(v)
+        g.add_edge(0, 1)          # ports auto-assigned (next free on each side)
+        g.add_edge(1, 2, port_u=3, port_v=0)   # explicit ports
+        g.set_source(0)
+        g.freeze()                # validates the model
+
+    Port numbers may be assigned sparsely during construction; ``freeze``
+    verifies that at every node they form exactly ``{0, ..., deg - 1}``.
+    """
+
+    def __init__(self) -> None:
+        self._port_to_neighbor: Dict[Node, Dict[int, Node]] = {}
+        self._neighbor_to_port: Dict[Node, Dict[Node, int]] = {}
+        self._source: Optional[Node] = None
+        self._frozen = False
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _check_mutable(self) -> None:
+        if self._frozen:
+            raise GraphError("graph is frozen; copy it to modify")
+
+    def add_node(self, v: Node) -> None:
+        """Add an isolated node with label ``v``."""
+        self._check_mutable()
+        if v in self._port_to_neighbor:
+            raise GraphError(f"duplicate node label {v!r}")
+        self._port_to_neighbor[v] = {}
+        self._neighbor_to_port[v] = {}
+
+    def add_edge(
+        self,
+        u: Node,
+        v: Node,
+        port_u: Optional[int] = None,
+        port_v: Optional[int] = None,
+    ) -> None:
+        """Add the undirected edge ``{u, v}``.
+
+        Explicit port numbers may be given for either endpoint; otherwise the
+        smallest unused port at that endpoint is assigned.
+        """
+        self._check_mutable()
+        if u == v:
+            raise GraphError("self-loops are not part of the network model")
+        for w in (u, v):
+            if w not in self._port_to_neighbor:
+                raise GraphError(f"unknown node {w!r}; add_node it first")
+        if v in self._neighbor_to_port[u]:
+            raise GraphError(f"edge {{{u!r}, {v!r}}} already present")
+        pu = self._next_port(u) if port_u is None else port_u
+        pv = self._next_port(v) if port_v is None else port_v
+        for w, p in ((u, pu), (v, pv)):
+            if p < 0:
+                raise GraphError(f"negative port {p} at node {w!r}")
+            if p in self._port_to_neighbor[w]:
+                raise GraphError(f"port {p} already used at node {w!r}")
+        self._port_to_neighbor[u][pu] = v
+        self._port_to_neighbor[v][pv] = u
+        self._neighbor_to_port[u][v] = pu
+        self._neighbor_to_port[v][u] = pv
+
+    def _next_port(self, v: Node) -> int:
+        used = self._port_to_neighbor[v]
+        port = 0
+        while port in used:
+            port += 1
+        return port
+
+    def remove_edge(self, u: Node, v: Node) -> None:
+        """Remove the edge ``{u, v}``, leaving a port gap to be reassigned."""
+        self._check_mutable()
+        if v not in self._neighbor_to_port.get(u, {}):
+            raise GraphError(f"edge {{{u!r}, {v!r}}} not present")
+        pu = self._neighbor_to_port[u].pop(v)
+        pv = self._neighbor_to_port[v].pop(u)
+        del self._port_to_neighbor[u][pu]
+        del self._port_to_neighbor[v][pv]
+
+    def set_port(self, v: Node, neighbor: Node, port: int) -> None:
+        """Reassign the port at ``v`` of the edge towards ``neighbor``."""
+        self._check_mutable()
+        if neighbor not in self._neighbor_to_port.get(v, {}):
+            raise GraphError(f"edge {{{v!r}, {neighbor!r}}} not present")
+        if port in self._port_to_neighbor[v] and self._port_to_neighbor[v][port] != neighbor:
+            raise GraphError(f"port {port} already used at node {v!r}")
+        old = self._neighbor_to_port[v][neighbor]
+        del self._port_to_neighbor[v][old]
+        self._port_to_neighbor[v][port] = neighbor
+        self._neighbor_to_port[v][neighbor] = port
+
+    def set_source(self, v: Node) -> None:
+        """Designate ``v`` as the source (the node whose status bit is 1)."""
+        if v not in self._port_to_neighbor:
+            raise GraphError(f"unknown node {v!r}")
+        self._source = v
+
+    def freeze(self) -> "PortLabeledGraph":
+        """Validate the model and make the graph immutable.  Returns self."""
+        self.validate()
+        self._frozen = True
+        return self
+
+    @property
+    def frozen(self) -> bool:
+        return self._frozen
+
+    def copy(self) -> "PortLabeledGraph":
+        """A mutable deep copy (the copy is never frozen)."""
+        out = PortLabeledGraph()
+        for v in self._port_to_neighbor:
+            out._port_to_neighbor[v] = dict(self._port_to_neighbor[v])
+            out._neighbor_to_port[v] = dict(self._neighbor_to_port[v])
+        out._source = self._source
+        return out
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return len(self._port_to_neighbor)
+
+    @property
+    def num_edges(self) -> int:
+        return sum(len(nbrs) for nbrs in self._neighbor_to_port.values()) // 2
+
+    @property
+    def source(self) -> Node:
+        if self._source is None:
+            raise GraphError("no source designated")
+        return self._source
+
+    @property
+    def has_source(self) -> bool:
+        return self._source is not None
+
+    def nodes(self) -> Iterator[Node]:
+        """Iterate over node labels (insertion order)."""
+        return iter(self._port_to_neighbor)
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate over canonical edges, each reported once."""
+        seen: set = set()
+        for u, nbrs in self._neighbor_to_port.items():
+            for v in nbrs:
+                key = edge_key(u, v)
+                if key not in seen:
+                    seen.add(key)
+                    yield key
+
+    def has_node(self, v: Node) -> bool:
+        """Whether a node with label ``v`` exists."""
+        return v in self._port_to_neighbor
+
+    def has_edge(self, u: Node, v: Node) -> bool:
+        """Whether the undirected edge ``{u, v}`` exists."""
+        return v in self._neighbor_to_port.get(u, {})
+
+    def degree(self, v: Node) -> int:
+        """Number of edges incident to ``v``."""
+        return len(self._port_to_neighbor[v])
+
+    def neighbors(self, v: Node) -> Iterator[Node]:
+        """Iterate over the neighbors of ``v`` (port order not guaranteed)."""
+        return iter(self._neighbor_to_port[v])
+
+    def port(self, v: Node, neighbor: Node) -> int:
+        """The port number at ``v`` of the edge towards ``neighbor``."""
+        try:
+            return self._neighbor_to_port[v][neighbor]
+        except KeyError:
+            raise GraphError(f"edge {{{v!r}, {neighbor!r}}} not present") from None
+
+    def neighbor_via(self, v: Node, port: int) -> Node:
+        """The node reached from ``v`` through local port ``port``."""
+        try:
+            return self._port_to_neighbor[v][port]
+        except KeyError:
+            raise GraphError(f"no port {port} at node {v!r}") from None
+
+    def ports(self, v: Node) -> List[int]:
+        """Sorted list of port numbers at ``v``."""
+        return sorted(self._port_to_neighbor[v])
+
+    def edge_weight(self, u: Node, v: Node) -> int:
+        """The paper's edge weight ``w(e) = min(port_u(e), port_v(e))``."""
+        return min(self.port(u, v), self.port(v, u))
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Verify the full network model; raise :class:`GraphError` if violated.
+
+        Checks: at least one node, port bijectivity (``{0..deg-1}`` at every
+        node), symmetry of the two port maps, connectivity, and that a source
+        is designated.
+        """
+        if not self._port_to_neighbor:
+            raise GraphError("graph has no nodes")
+        for v, ports in self._port_to_neighbor.items():
+            deg = len(ports)
+            if set(ports) != set(range(deg)):
+                raise GraphError(
+                    f"ports at node {v!r} are {sorted(ports)}, expected 0..{deg - 1}"
+                )
+            for p, u in ports.items():
+                if self._neighbor_to_port[v].get(u) != p:
+                    raise GraphError(f"inconsistent port maps at node {v!r}")
+                if v not in self._neighbor_to_port.get(u, {}):
+                    raise GraphError(f"asymmetric edge {{{v!r}, {u!r}}}")
+        if self._source is None:
+            raise GraphError("no source designated")
+        if not self.is_connected():
+            raise GraphError("graph is not connected")
+
+    def is_connected(self) -> bool:
+        """BFS connectivity check (no source required)."""
+        if not self._port_to_neighbor:
+            return False
+        start = next(iter(self._port_to_neighbor))
+        seen = {start}
+        frontier = [start]
+        while frontier:
+            nxt: List[Node] = []
+            for u in frontier:
+                for w in self._neighbor_to_port[u]:
+                    if w not in seen:
+                        seen.add(w)
+                        nxt.append(w)
+            frontier = nxt
+        return len(seen) == len(self._port_to_neighbor)
+
+    # ------------------------------------------------------------------
+    # Interop
+    # ------------------------------------------------------------------
+    def to_networkx(self) -> nx.Graph:
+        """Export to a :class:`networkx.Graph` with ports as edge attributes.
+
+        Each edge carries ``ports={u: port_u, v: port_v}`` and the graph
+        carries ``source`` in ``G.graph``.
+        """
+        g = nx.Graph()
+        g.add_nodes_from(self._port_to_neighbor)
+        for u, v in self.edges():
+            g.add_edge(u, v, ports={u: self.port(u, v), v: self.port(v, u)})
+        if self._source is not None:
+            g.graph["source"] = self._source
+        return g
+
+    @classmethod
+    def from_networkx(
+        cls,
+        g: nx.Graph,
+        source: Optional[Node] = None,
+        port_order: str = "sorted",
+        rng=None,
+    ) -> "PortLabeledGraph":
+        """Import a :class:`networkx.Graph`, assigning ports.
+
+        ``port_order`` selects the port assignment when the edges carry no
+        ``ports`` attribute:
+
+        * ``"sorted"`` — ports follow the sorted order of neighbor labels
+          (deterministic);
+        * ``"random"`` — a random permutation per node (pass ``rng``, a
+          :class:`random.Random`).
+
+        The source defaults to ``g.graph['source']`` or the smallest label.
+        """
+        out = cls()
+        for v in sorted(g.nodes(), key=repr):
+            out.add_node(v)
+        explicit = all("ports" in data for __, __, data in g.edges(data=True)) and g.number_of_edges() > 0
+        if explicit:
+            for u, v, data in g.edges(data=True):
+                out.add_edge(u, v, port_u=data["ports"][u], port_v=data["ports"][v])
+        else:
+            order: Dict[Node, List[Node]] = {}
+            for v in g.nodes():
+                nbrs = sorted(g.neighbors(v), key=repr)
+                if port_order == "random":
+                    if rng is None:
+                        raise GraphError("port_order='random' requires an rng")
+                    rng.shuffle(nbrs)
+                elif port_order != "sorted":
+                    raise GraphError(f"unknown port_order {port_order!r}")
+                order[v] = nbrs
+            ports: Dict[Node, Dict[Node, int]] = {
+                v: {u: i for i, u in enumerate(nbrs)} for v, nbrs in order.items()
+            }
+            for u, v in g.edges():
+                out.add_edge(u, v, port_u=ports[u][v], port_v=ports[v][u])
+        if source is None:
+            source = g.graph.get("source")
+        if source is None:
+            source = min(g.nodes(), key=repr)
+        out.set_source(source)
+        return out
+
+    def __repr__(self) -> str:
+        src = f", source={self._source!r}" if self._source is not None else ""
+        return f"PortLabeledGraph(n={self.num_nodes}, m={self.num_edges}{src})"

@@ -1,0 +1,46 @@
+"""Concrete oracles: the paper's two constructions plus comparators."""
+
+from ..core.oracle import FullMapOracle, NullOracle, TruncatingOracle
+from .leader_bit import LeaderBitOracle
+from .full_map import IndexedFullMapOracle, decode_indexed_map
+from .parent_pointer import ParentPointerOracle, decode_parent_port, parent_port_width
+from .gossip_tree import GossipTreeOracle, decode_gossip_advice
+from .light_tree import (
+    LightTreeBroadcastOracle,
+    assign_weight_advice,
+    edge_contribution,
+    light_spanning_tree,
+    tree_contribution,
+)
+from .tradeoff import DepthLimitedTreeOracle, bfs_depths
+from .spanning_tree import (
+    SpanningTreeWakeupOracle,
+    build_spanning_tree,
+    children_port_map,
+    tree_edges,
+)
+
+__all__ = [
+    "LeaderBitOracle",
+    "IndexedFullMapOracle",
+    "decode_indexed_map",
+    "ParentPointerOracle",
+    "decode_parent_port",
+    "parent_port_width",
+    "GossipTreeOracle",
+    "decode_gossip_advice",
+    "DepthLimitedTreeOracle",
+    "bfs_depths",
+    "NullOracle",
+    "FullMapOracle",
+    "TruncatingOracle",
+    "SpanningTreeWakeupOracle",
+    "build_spanning_tree",
+    "children_port_map",
+    "tree_edges",
+    "LightTreeBroadcastOracle",
+    "light_spanning_tree",
+    "assign_weight_advice",
+    "edge_contribution",
+    "tree_contribution",
+]

@@ -1,0 +1,72 @@
+"""Indexed full-map oracle: the whole network, plus "you are node #i".
+
+:class:`repro.core.FullMapOracle` hands every node the same serialized
+topology — but a scheme cannot *use* a map without knowing where it stands
+on it.  :class:`IndexedFullMapOracle` appends each node's own index (in the
+sorted-label order the serialization uses) so a scheme can orient itself;
+:func:`decode_indexed_map` recovers ``(adjacency-by-port, own_index)``.
+
+This is the heavyweight comparator for the wakeup task: paired with
+:class:`repro.algorithms.FullMapWakeup` it achieves the same optimal
+``n - 1`` messages as Theorem 2.1 — while paying ``Theta(n (n + m) log n)``
+advice bits instead of ``Theta(n log n)``.  Knowing *everything* is
+sufficient; the paper's point is how little is *necessary*.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..core.oracle import AdviceMap, FullMapOracle, Oracle
+from ..encoding import BitReader, BitString, encode_fixed
+from ..network.graph import PortLabeledGraph
+
+__all__ = ["IndexedFullMapOracle", "decode_indexed_map"]
+
+
+class IndexedFullMapOracle(Oracle):
+    """Full topology blob + the receiving node's own index."""
+
+    def advise(self, graph: PortLabeledGraph) -> AdviceMap:
+        blob = FullMapOracle.encode_graph(graph)
+        order = sorted(graph.nodes(), key=repr)
+        n = len(order)
+        width = max(1, n.bit_length())
+        return AdviceMap(
+            {v: blob + encode_fixed(i, width) for i, v in enumerate(order)}
+        )
+
+
+def decode_indexed_map(advice: BitString) -> Optional[Tuple[List[List[int]], int]]:
+    """Decode ``(port_to_neighbor_index per node, own_index)``.
+
+    ``result[0][i][p]`` is the index of the node reached from node ``i``
+    through its port ``p``.  Returns ``None`` on damaged advice.
+    """
+    # The field width is max(1, n.bit_length()) with n unknown; try widths
+    # until a parse is self-consistent and consumes the string exactly.
+    for width in range(1, len(advice) + 1):
+        reader = BitReader(advice)
+        try:
+            n = reader.read_int(width)
+        except EOFError:
+            return None
+        if n <= 0 or max(1, n.bit_length()) != width:
+            continue
+        try:
+            tables: List[List[int]] = []
+            for __ in range(n):
+                deg = reader.read_int(width)
+                if deg >= n:
+                    raise ValueError
+                row = [reader.read_int(width) for __ in range(deg)]
+                if any(not 0 <= x < n for x in row):
+                    raise ValueError
+                tables.append(row)
+            own = reader.read_int(width)
+            if not reader.exhausted() or not 0 <= own < n:
+                raise ValueError
+            return tables, own
+        except (EOFError, ValueError):
+            continue
+    return None

@@ -1,0 +1,73 @@
+"""Oracle for tree gossip: children ports *and* the parent port.
+
+Gossip needs traffic in both directions along the tree — rumors flow up to
+the root (convergecast) and the full set flows back down — so unlike the
+Theorem 2.1 wakeup oracle, every non-root node must also know its *parent*
+port, and every internal node must know how many children will report
+before it may send up.
+
+Advice layout (all fields in the paired-continuation code, so the string is
+self-delimiting field by field):
+
+    [ num_children, child_port_1 .. child_port_c, has_parent, parent_port? ]
+
+Total size stays ``Theta(n log n)``: the same ``n - 1`` child ports as
+Theorem 2.1 plus ``n - 1`` parent ports and ``2n`` bookkeeping fields.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core.oracle import AdviceMap, Oracle
+from ..encoding import BitReader, BitString, decode_paired, encode_paired_list
+from ..network.graph import PortLabeledGraph
+from .spanning_tree import build_spanning_tree, children_port_map
+
+__all__ = ["GossipTreeOracle", "decode_gossip_advice"]
+
+
+def decode_gossip_advice(advice: BitString, degree: int):
+    """Decode ``(children_ports, parent_port_or_None)``; damaged advice
+    decodes to no structure (``([], None)``)."""
+    try:
+        reader = BitReader(advice)
+        count = decode_paired(reader)
+        children = [decode_paired(reader) for __ in range(count)]
+        has_parent = decode_paired(reader)
+        parent = decode_paired(reader) if has_parent else None
+        if not reader.exhausted():
+            return [], None
+    except (ValueError, EOFError):
+        return [], None
+    if any(not 0 <= p < degree for p in children):
+        return [], None
+    if parent is not None and not 0 <= parent < degree:
+        return [], None
+    return children, parent
+
+
+class GossipTreeOracle(Oracle):
+    """Children + parent ports along a source-rooted spanning tree."""
+
+    def __init__(self, kind: str = "bfs") -> None:
+        self._kind = kind
+
+    def advise(self, graph: PortLabeledGraph) -> AdviceMap:
+        parent = build_spanning_tree(graph, self._kind)
+        children = children_port_map(graph, parent)
+        strings = {}
+        for v in graph.nodes():
+            fields: List[int] = [len(children[v])] + children[v]
+            par = parent[v]
+            if par is None:
+                fields.append(0)
+            else:
+                fields.append(1)
+                fields.append(graph.port(v, par))
+            strings[v] = encode_paired_list(fields)
+        return AdviceMap(strings)
+
+    @property
+    def name(self) -> str:
+        return f"GossipTreeOracle({self._kind})"

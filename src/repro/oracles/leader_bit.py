@@ -1,0 +1,39 @@
+"""The one-bit leader oracle — the smallest useful oracle in the library.
+
+Election only needs symmetry broken, and an oracle that sees the whole
+network can break it with a single bit: give ``1`` to one node and nothing
+to everyone else.  Total oracle size: **1**.  Contrast with the
+``Theta(n log n)`` and ``Theta(n)`` price tags of the dissemination tasks —
+oracle size really does grade task difficulty, and election is nearly free.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, Optional
+
+from ..core.oracle import AdviceMap, Oracle
+from ..encoding import BitString
+from ..network.graph import PortLabeledGraph
+
+__all__ = ["LeaderBitOracle"]
+
+
+class LeaderBitOracle(Oracle):
+    """Give one bit (``1``) to a chosen node; the empty string to the rest.
+
+    ``picker`` selects the leader from the graph (default: smallest label).
+    """
+
+    def __init__(
+        self, picker: Optional[Callable[[PortLabeledGraph], Hashable]] = None
+    ) -> None:
+        self._picker = picker
+
+    def advise(self, graph: PortLabeledGraph) -> AdviceMap:
+        if self._picker is not None:
+            chosen = self._picker(graph)
+            if not graph.has_node(chosen):
+                raise ValueError(f"picker chose a non-node: {chosen!r}")
+        else:
+            chosen = min(graph.nodes(), key=repr)
+        return AdviceMap({chosen: BitString("1")})

@@ -1,0 +1,60 @@
+"""Parent-pointer oracle: each node's share of a ready-made spanning tree.
+
+Every non-source node is told the local port of its parent in a
+source-rooted spanning tree, in a fixed-width field of
+``ceil(log2(deg))`` bits (the receiver knows its own degree, so the width
+is implicit); the source gets the empty string.  Total size
+``sum_v ceil(log2 deg(v)) <= n ceil(log n)`` bits.
+
+This is the zero-message endpoint of the construction task (E11): the
+oracle *is* the answer.  Contrast with the paper's wakeup oracle, where the
+tree must be encoded as children lists because information can only flow
+down; for a pure output task the cheaper upward encoding suffices.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.oracle import AdviceMap, Oracle
+from ..encoding import BitString, encode_fixed
+from ..network.graph import PortLabeledGraph
+from .spanning_tree import build_spanning_tree
+
+__all__ = ["ParentPointerOracle", "parent_port_width", "decode_parent_port"]
+
+
+def parent_port_width(degree: int) -> int:
+    """Field width for a parent port at a degree-``degree`` node."""
+    return max(1, (degree - 1).bit_length())
+
+
+def decode_parent_port(advice: BitString, degree: int) -> Optional[int]:
+    """Inverse of the oracle's encoding; ``None`` for empty/damaged advice."""
+    width = parent_port_width(degree)
+    if len(advice) != width:
+        return None
+    port = advice.to_int()
+    return port if 0 <= port < degree else None
+
+
+class ParentPointerOracle(Oracle):
+    """Tell every non-source node its parent port in a rooted tree."""
+
+    def __init__(self, kind: str = "bfs") -> None:
+        self._kind = kind
+
+    def advise(self, graph: PortLabeledGraph) -> AdviceMap:
+        parent = build_spanning_tree(graph, self._kind)
+        strings = {}
+        for v, par in parent.items():
+            if par is None:
+                continue
+            strings[v] = encode_fixed(
+                graph.port(v, par), parent_port_width(graph.degree(v))
+            )
+        return AdviceMap(strings)
+
+    @property
+    def name(self) -> str:
+        return f"ParentPointerOracle({self._kind})"

@@ -1,0 +1,159 @@
+"""The wakeup oracle of Theorem 2.1.
+
+Fix any spanning tree ``T`` of the network rooted at the source.  The oracle
+gives every internal node of ``T`` the port numbers leading to its children
+(self-delimitingly encoded — see
+:func:`repro.encoding.encode_children_ports`) and every leaf the empty
+string.  Total size: ``sum_v c(v) ceil(log n) + O(log log n)``-per-internal-
+node ``= n log n + o(n log n)`` bits, since the child counts sum to
+``n - 1``.
+
+The companion algorithm (:class:`repro.algorithms.TreeWakeup`) forwards the
+source message down the encoded tree, using exactly ``n - 1`` messages —
+which is optimal, as every node other than the source must receive at least
+one message.
+
+Tree selection is pluggable (BFS, DFS, or a uniformly random spanning tree);
+the size bound holds for any of them, and benchmark E1 compares the
+constants.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from ..core.oracle import AdviceMap, Oracle
+from ..encoding import children_ports_code_length, encode_children_ports
+from ..network.graph import GraphError, PortLabeledGraph
+
+__all__ = ["build_spanning_tree", "children_port_map", "SpanningTreeWakeupOracle"]
+
+Node = Hashable
+
+
+def build_spanning_tree(
+    graph: PortLabeledGraph,
+    kind: str = "bfs",
+    rng: Optional[random.Random] = None,
+) -> Dict[Node, Optional[Node]]:
+    """A spanning tree rooted at the source, as a ``child -> parent`` map.
+
+    ``kind``:
+
+    * ``"bfs"`` — breadth-first from the source (deterministic, neighbor
+      order = port order);
+    * ``"dfs"`` — depth-first from the source (deterministic);
+    * ``"random"`` — BFS/DFS over a randomly permuted port order per node
+      (requires ``rng``), giving a random — not uniformly random — spanning
+      tree; plenty for exercising the size bound across tree shapes.
+
+    The root maps to ``None``.
+    """
+    root = graph.source
+    parent: Dict[Node, Optional[Node]] = {root: None}
+
+    def neighbor_order(v: Node) -> List[Node]:
+        nbrs = [graph.neighbor_via(v, p) for p in graph.ports(v)]
+        if kind == "random":
+            if rng is None:
+                raise GraphError("kind='random' requires an rng")
+            rng.shuffle(nbrs)
+        return nbrs
+
+    if kind in ("bfs", "random"):
+        frontier = [root]
+        while frontier:
+            nxt: List[Node] = []
+            for u in frontier:
+                for w in neighbor_order(u):
+                    if w not in parent:
+                        parent[w] = u
+                        nxt.append(w)
+            frontier = nxt
+    elif kind == "dfs":
+        # parent is fixed when a node is *visited* (popped), not when first
+        # seen — otherwise K_n would yield a star instead of a path
+        stack: List[tuple] = [(root, None)]
+        visited = set()
+        while stack:
+            u, via = stack.pop()
+            if u in visited:
+                continue
+            visited.add(u)
+            if via is not None:
+                parent[u] = via
+            for w in reversed(neighbor_order(u)):
+                if w not in visited:
+                    stack.append((w, u))
+    else:
+        raise GraphError(f"unknown spanning tree kind {kind!r}")
+    if len(parent) != graph.num_nodes:
+        raise GraphError("graph is not connected")
+    return parent
+
+
+def children_port_map(
+    graph: PortLabeledGraph, parent: Dict[Node, Optional[Node]]
+) -> Dict[Node, List[int]]:
+    """For each node, the sorted ports leading to its children in the tree."""
+    children: Dict[Node, List[int]] = {v: [] for v in graph.nodes()}
+    for child, par in parent.items():
+        if par is not None:
+            children[par].append(graph.port(par, child))
+    return {v: sorted(ports) for v, ports in children.items()}
+
+
+class SpanningTreeWakeupOracle(Oracle):
+    """Theorem 2.1's oracle: children ports along a rooted spanning tree."""
+
+    def __init__(self, kind: str = "bfs", seed: int = 0) -> None:
+        self._kind = kind
+        self._seed = seed
+
+    def advise(self, graph: PortLabeledGraph) -> AdviceMap:
+        rng = random.Random(self._seed) if self._kind == "random" else None
+        parent = build_spanning_tree(graph, self._kind, rng)
+        ports = children_port_map(graph, parent)
+        n = graph.num_nodes
+        return AdviceMap(
+            {v: encode_children_ports(plist, n) for v, plist in ports.items()}
+        )
+
+    def predicted_size(self, graph: PortLabeledGraph) -> int:
+        """Exact size this oracle will have on ``graph`` (no encoding run).
+
+        Matches ``advise(graph).total_bits()``; used by tests to pin the
+        accounting and by E1 to cross-check the ``n log n + o(n log n)``
+        bound cheaply.
+        """
+        rng = random.Random(self._seed) if self._kind == "random" else None
+        parent = build_spanning_tree(graph, self._kind, rng)
+        ports = children_port_map(graph, parent)
+        n = graph.num_nodes
+        return sum(children_ports_code_length(len(p), n) for p in ports.values())
+
+    @property
+    def name(self) -> str:
+        return f"SpanningTreeWakeupOracle({self._kind})"
+
+    @staticmethod
+    def size_upper_bound(n: int) -> int:
+        """The analytic bound: ``(n - 1) ceil(log n) + n (2 #2(ceil(log n)) + 2)``.
+
+        Child counts over the tree sum to ``n - 1`` (each non-root is some
+        node's child); at most ``n`` internal nodes pay the
+        ``2 #2(ceil(log n)) + 2``-bit self-delimiting header.
+        """
+        from ..encoding import code_length, port_field_width
+
+        width = port_field_width(n)
+        return (n - 1) * width + n * (2 * code_length(width) + 2)
+
+
+def tree_edges(parent: Dict[Node, Optional[Node]]) -> List[Tuple[Node, Node]]:
+    """The tree's edge list ``(child, parent)``, root excluded."""
+    return [(c, p) for c, p in parent.items() if p is not None]
+
+
+__all__.append("tree_edges")

@@ -1,0 +1,38 @@
+"""Message-passing simulation substrate: engine, schedulers, traces."""
+
+from .engine import Simulation
+from .messages import InFlightMessage, SendRequest
+from .node import NodeContext, NodeRuntime, Process, WakeupViolation
+from .schedulers import (
+    SCHEDULER_NAMES,
+    FIFOLinkScheduler,
+    PriorityScheduler,
+    RandomScheduler,
+    Scheduler,
+    SynchronousScheduler,
+    delay_payload,
+    hurry_payload,
+    make_scheduler,
+)
+from .trace import DeliveryRecord, ExecutionTrace
+
+__all__ = [
+    "Simulation",
+    "SendRequest",
+    "InFlightMessage",
+    "NodeContext",
+    "NodeRuntime",
+    "Process",
+    "WakeupViolation",
+    "Scheduler",
+    "SynchronousScheduler",
+    "FIFOLinkScheduler",
+    "RandomScheduler",
+    "PriorityScheduler",
+    "delay_payload",
+    "hurry_payload",
+    "make_scheduler",
+    "SCHEDULER_NAMES",
+    "DeliveryRecord",
+    "ExecutionTrace",
+]

@@ -1,0 +1,212 @@
+"""The message-passing simulation engine.
+
+The engine executes one communication task on one network:
+
+1. every node's process is initialized (the scheme evaluated on the empty
+   history — where broadcast schemes may transmit spontaneously and wakeup
+   schemes, enforced via ``wakeup=True``, may not);
+2. while messages are in flight, the scheduler picks which one arrives next;
+   the receiving node's process runs and may queue further sends;
+3. the run ends at quiescence (no messages in flight — every sent message is
+   eventually delivered, exactly once, unmodified) or when a safety limit
+   trips.
+
+The engine maintains the *informed* relation exactly as the paper defines
+it: the source starts informed, and a node becomes informed by receiving any
+message whose sender was informed at send time (the source message can ride
+along on any such message).  It also counts every send — the message
+complexity that all four theorems are about.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Mapping, Optional
+
+from ..encoding import BitString
+from ..network.graph import PortLabeledGraph
+from .messages import InFlightMessage
+from .node import NodeContext, NodeRuntime, Process, WakeupViolation
+from .schedulers import Scheduler, SynchronousScheduler
+from .trace import DeliveryRecord, ExecutionTrace
+
+__all__ = ["Simulation"]
+
+
+class Simulation:
+    """One run of per-node processes over a port-labeled network.
+
+    Parameters
+    ----------
+    graph:
+        The network (frozen or freezable; must validate).
+    processes:
+        One :class:`Process` per node label.
+    advice:
+        Oracle output ``f``: a :class:`BitString` per node; missing nodes get
+        the empty string (the oracle "gives them no information").
+    scheduler:
+        Delivery discipline; defaults to a fresh synchronous scheduler.
+    anonymous:
+        When true, processes see ``node_id=None`` — the regime in which the
+        paper's upper bounds still hold.
+    wakeup:
+        Enforce the wakeup constraint: a non-source process that sends from
+        ``on_init`` raises :class:`WakeupViolation`.
+    max_messages / max_steps:
+        Safety limits.  Tripping one truncates the run and sets
+        ``message_limit_hit`` on the trace — lower-bound drivers *want* to
+        observe blowups, so limits never raise.
+    stop_when_informed:
+        End the run as soon as every node is informed (useful to measure
+        "messages until completion" rather than total scheme output).
+    no_source:
+        Treat every node as a non-source (status bit 0) regardless of the
+        graph's designated source, and start with no informed node.  Used by
+        the Theorem 3.2 machinery, which watches how a scheme behaves inside
+        a clique that no message has entered yet.
+    """
+
+    def __init__(
+        self,
+        graph: PortLabeledGraph,
+        processes: Mapping[Hashable, Process],
+        advice: Optional[Mapping[Hashable, BitString]] = None,
+        scheduler: Optional[Scheduler] = None,
+        anonymous: bool = False,
+        wakeup: bool = False,
+        max_messages: Optional[int] = None,
+        max_steps: Optional[int] = None,
+        stop_when_informed: bool = False,
+        no_source: bool = False,
+    ) -> None:
+        if not graph.frozen:
+            graph = graph.copy().freeze()
+        self._graph = graph
+        self._scheduler = scheduler if scheduler is not None else SynchronousScheduler()
+        self._wakeup = wakeup
+        self._max_messages = max_messages
+        self._max_steps = max_steps
+        self._stop_when_informed = stop_when_informed
+        advice = advice or {}
+        missing = set(processes) ^ set(graph.nodes())
+        if missing:
+            raise ValueError(f"processes must cover exactly the node set; mismatch on {missing}")
+        self._no_source = no_source
+        self._runtimes: Dict[Hashable, NodeRuntime] = {}
+        for v in graph.nodes():
+            is_source = (v == graph.source) and not no_source
+            ctx = NodeContext(
+                advice=advice.get(v, BitString.empty()),
+                is_source=is_source,
+                node_id=None if anonymous else v,
+                degree=graph.degree(v),
+            )
+            self._runtimes[v] = NodeRuntime(
+                label=v,
+                context=ctx,
+                process=processes[v],
+                informed=is_source,
+            )
+        self._seq = 0
+        self._trace = ExecutionTrace()
+        self._ran = False
+
+    # ------------------------------------------------------------------
+    def run(self) -> ExecutionTrace:
+        """Execute to quiescence (or a limit) and return the trace."""
+        if self._ran:
+            raise RuntimeError("a Simulation object runs once; build a new one")
+        self._ran = True
+        trace = self._trace
+        if not self._no_source:
+            trace.informed_at[self._graph.source] = 0
+
+        for v in sorted(self._runtimes, key=repr):
+            runtime = self._runtimes[v]
+            runtime.process.on_init(runtime.context)
+            sends = runtime.context.drain()
+            if sends and self._wakeup and not runtime.context.is_source:
+                raise WakeupViolation(
+                    f"node {v!r} transmitted on an empty history during a wakeup"
+                )
+            self._enqueue(runtime, sends, deliver_at=1)
+
+        step = 0
+        limit_hit = trace.message_limit_hit
+        while not self._scheduler.empty():
+            if limit_hit:
+                break
+            if self._max_steps is not None and step >= self._max_steps:
+                limit_hit = self._limit("step limit reached")
+                break
+            msg = self._scheduler.pop()
+            step += 1
+            receiver = self._runtimes[msg.receiver]
+            trace.deliveries.append(
+                DeliveryRecord(
+                    step=step,
+                    payload=msg.payload,
+                    sender=msg.sender,
+                    receiver=msg.receiver,
+                    send_port=msg.send_port,
+                    arrival_port=msg.arrival_port,
+                    sender_informed=msg.sender_informed,
+                    round=msg.deliver_at,
+                )
+            )
+            trace.rounds = max(trace.rounds, msg.deliver_at)
+            receiver.received_count += 1
+            receiver.history.append((msg.payload, msg.arrival_port))
+            if msg.sender_informed and not receiver.informed:
+                receiver.informed = True
+                receiver.informed_at = step
+                trace.informed_at[msg.receiver] = step
+            receiver.process.on_receive(receiver.context, msg.payload, msg.arrival_port)
+            limit_hit = self._enqueue(
+                receiver, receiver.context.drain(), deliver_at=msg.deliver_at + 1
+            )
+            if self._stop_when_informed and len(trace.informed_at) == self._graph.num_nodes:
+                break
+        trace.message_limit_hit = limit_hit
+        trace.completed = self._scheduler.empty() and not limit_hit
+        for v, runtime in self._runtimes.items():
+            if runtime.context.has_output:
+                trace.outputs[v] = runtime.context.output_value
+        return trace
+
+    # ------------------------------------------------------------------
+    def _enqueue(self, runtime: NodeRuntime, sends, deliver_at: int) -> bool:
+        """Turn send requests into in-flight messages; returns limit flag."""
+        graph = self._graph
+        for request in sends:
+            if (
+                self._max_messages is not None
+                and self._trace.messages_sent >= self._max_messages
+            ):
+                return self._limit("message limit reached")
+            neighbor = graph.neighbor_via(runtime.label, request.port)
+            self._seq += 1
+            msg = InFlightMessage(
+                payload=request.payload,
+                sender=runtime.label,
+                receiver=neighbor,
+                send_port=request.port,
+                arrival_port=graph.port(neighbor, runtime.label),
+                sender_informed=runtime.informed,
+                seq=self._seq,
+                deliver_at=deliver_at,
+            )
+            runtime.sent_count += 1
+            self._trace.messages_sent += 1
+            self._scheduler.push(msg)
+        return False
+
+    def _limit(self, reason: str) -> bool:
+        self._trace.message_limit_hit = True
+        return True
+
+    # ------------------------------------------------------------------
+    @property
+    def runtimes(self) -> Mapping[Hashable, NodeRuntime]:
+        """Per-node runtime state (read-only view for tests and drivers)."""
+        return self._runtimes

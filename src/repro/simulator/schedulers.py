@@ -1,0 +1,179 @@
+"""Delivery schedulers: who receives next.
+
+The paper's upper bounds are claimed for *totally asynchronous*
+communication and its lower bounds already hold for synchronous
+communication, so the simulator supports both extremes and adversarial
+points in between:
+
+* :class:`SynchronousScheduler` — lockstep rounds: a message sent in round
+  ``r`` is delivered in round ``r + 1``; intra-round delivery order is a
+  fixed deterministic key, so synchronous executions are reproducible (the
+  Theorem 3.2 machinery classifies cliques by their deterministic
+  synchronous execution).
+* :class:`FIFOLinkScheduler` — asynchronous, but per-link FIFO: the next
+  message is the oldest undelivered one on a uniformly chosen active link
+  (seeded RNG).
+* :class:`RandomScheduler` — fully asynchronous: any in-flight message may
+  arrive next (exactly-once, no loss), chosen by a seeded RNG.
+* :class:`PriorityScheduler` — adversarial: a user-supplied key function
+  ranks in-flight messages; the smallest key is delivered first.  Handy
+  adversaries: starve all ``"hello"`` control messages
+  (:func:`delay_payload`) or deliver them eagerly (:func:`hurry_payload`).
+
+A scheduler is a small mutable queue: ``push(msg)``, ``pop() -> msg``,
+``empty() -> bool``.  The engine owns message creation; the scheduler only
+chooses the order.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import random
+from collections import deque
+from typing import Callable, Dict, List, Protocol, Tuple
+
+from .messages import InFlightMessage
+
+__all__ = [
+    "Scheduler",
+    "SynchronousScheduler",
+    "FIFOLinkScheduler",
+    "RandomScheduler",
+    "PriorityScheduler",
+    "delay_payload",
+    "hurry_payload",
+    "make_scheduler",
+    "SCHEDULER_NAMES",
+]
+
+
+class Scheduler(Protocol):
+    """The queue discipline interface consumed by the engine."""
+
+    def push(self, msg: InFlightMessage) -> None:  # pragma: no cover - protocol
+        ...
+
+    def pop(self) -> InFlightMessage:  # pragma: no cover - protocol
+        ...
+
+    def empty(self) -> bool:  # pragma: no cover - protocol
+        ...
+
+
+class SynchronousScheduler:
+    """Deterministic lockstep rounds (see module docstring)."""
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[Tuple, InFlightMessage]] = []
+
+    def push(self, msg: InFlightMessage) -> None:
+        key = (msg.deliver_at, repr(msg.receiver), msg.arrival_port, msg.seq)
+        heapq.heappush(self._heap, (key, msg))
+
+    def pop(self) -> InFlightMessage:
+        return heapq.heappop(self._heap)[1]
+
+    def empty(self) -> bool:
+        return not self._heap
+
+
+class FIFOLinkScheduler:
+    """Asynchronous delivery with per-link FIFO order."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = random.Random(seed)
+        self._queues: Dict[Tuple[str, str], deque] = {}
+        self._active: List[Tuple[str, str]] = []
+        self._size = 0
+
+    def push(self, msg: InFlightMessage) -> None:
+        link = (repr(msg.sender), repr(msg.receiver))
+        queue = self._queues.get(link)
+        if queue is None:
+            queue = deque()
+            self._queues[link] = queue
+        if not queue:
+            self._active.append(link)
+        queue.append(msg)
+        self._size += 1
+
+    def pop(self) -> InFlightMessage:
+        index = self._rng.randrange(len(self._active))
+        link = self._active[index]
+        queue = self._queues[link]
+        msg = queue.popleft()
+        if not queue:
+            self._active[index] = self._active[-1]
+            self._active.pop()
+        self._size -= 1
+        return msg
+
+    def empty(self) -> bool:
+        return self._size == 0
+
+
+class RandomScheduler:
+    """Fully asynchronous delivery: uniform choice among in-flight messages."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = random.Random(seed)
+        self._pool: List[InFlightMessage] = []
+
+    def push(self, msg: InFlightMessage) -> None:
+        self._pool.append(msg)
+
+    def pop(self) -> InFlightMessage:
+        index = self._rng.randrange(len(self._pool))
+        self._pool[index], self._pool[-1] = self._pool[-1], self._pool[index]
+        return self._pool.pop()
+
+    def empty(self) -> bool:
+        return not self._pool
+
+
+class PriorityScheduler:
+    """Adversarial delivery: smallest ``key(message)`` first, seq tie-break."""
+
+    def __init__(self, key: Callable[[InFlightMessage], float]) -> None:
+        self._key = key
+        self._heap: List[Tuple[float, int, InFlightMessage]] = []
+        self._counter = itertools.count()
+
+    def push(self, msg: InFlightMessage) -> None:
+        heapq.heappush(self._heap, (self._key(msg), next(self._counter), msg))
+
+    def pop(self) -> InFlightMessage:
+        return heapq.heappop(self._heap)[2]
+
+    def empty(self) -> bool:
+        return not self._heap
+
+
+def delay_payload(payload) -> PriorityScheduler:
+    """Adversary that starves messages with the given payload as long as possible."""
+    return PriorityScheduler(lambda m: 1.0 if m.payload == payload else 0.0)
+
+
+def hurry_payload(payload) -> PriorityScheduler:
+    """Adversary that always delivers the given payload first."""
+    return PriorityScheduler(lambda m: 0.0 if m.payload == payload else 1.0)
+
+
+#: Names accepted by :func:`make_scheduler`, used to parameterize benchmarks.
+SCHEDULER_NAMES = ("sync", "fifo", "random", "delay-hello", "hurry-hello")
+
+
+def make_scheduler(name: str, seed: int = 0) -> Scheduler:
+    """Build a fresh scheduler by name (see :data:`SCHEDULER_NAMES`)."""
+    if name == "sync":
+        return SynchronousScheduler()
+    if name == "fifo":
+        return FIFOLinkScheduler(seed)
+    if name == "random":
+        return RandomScheduler(seed)
+    if name == "delay-hello":
+        return delay_payload("hello")
+    if name == "hurry-hello":
+        return hurry_payload("hello")
+    raise ValueError(f"unknown scheduler {name!r}; expected one of {SCHEDULER_NAMES}")

@@ -1,0 +1,97 @@
+"""Execution traces and statistics.
+
+Every run produces an :class:`ExecutionTrace`: the global send/delivery log,
+per-node histories, informed times, and the counters the paper's theorems
+are stated in (total messages above all).  Traces are plain data — the
+lower-bound drivers and the tests read them, and
+:func:`ExecutionTrace.history_of` reconstructs the exact history object of
+Section 1.4 for any node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Hashable, List, Optional, Set, Tuple
+
+from .messages import InFlightMessage
+
+__all__ = ["DeliveryRecord", "ExecutionTrace"]
+
+
+@dataclass(frozen=True)
+class DeliveryRecord:
+    """One delivered message, in delivery order."""
+
+    step: int
+    payload: Any
+    sender: Hashable
+    receiver: Hashable
+    send_port: int
+    arrival_port: int
+    sender_informed: bool
+    round: int
+
+
+@dataclass
+class ExecutionTrace:
+    """Complete record of one simulation run."""
+
+    messages_sent: int = 0
+    deliveries: List[DeliveryRecord] = field(default_factory=list)
+    informed_at: Dict[Hashable, int] = field(default_factory=dict)
+    rounds: int = 0
+    completed: bool = False
+    message_limit_hit: bool = False
+    undelivered: List[InFlightMessage] = field(default_factory=list)
+    outputs: Dict[Hashable, Any] = field(default_factory=dict)
+
+    def informed_nodes(self) -> Set[Hashable]:
+        """Nodes that held the source message when the run ended."""
+        return set(self.informed_at)
+
+    def history_of(self, node: Hashable) -> List[Tuple[Any, int]]:
+        """The (message, arrival port) sequence received by ``node``."""
+        return [
+            (d.payload, d.arrival_port) for d in self.deliveries if d.receiver == node
+        ]
+
+    def messages_with_payload(self, payload: Any) -> int:
+        """How many *delivered* messages carried the given payload."""
+        return sum(1 for d in self.deliveries if d.payload == payload)
+
+    def edges_used(self) -> Set[Tuple[Hashable, Hashable]]:
+        """Undirected edges that carried at least one delivered message."""
+        out: Set[Tuple[Hashable, Hashable]] = set()
+        for d in self.deliveries:
+            u, v = d.sender, d.receiver
+            try:
+                key = (u, v) if u <= v else (v, u)  # type: ignore[operator]
+            except TypeError:
+                key = (u, v) if repr(u) <= repr(v) else (v, u)
+            out.add(key)
+        return out
+
+    def max_edge_traversals(self) -> int:
+        """The largest number of messages carried by any single (undirected)
+        edge, counting both directions."""
+        counts: Dict[Tuple[Hashable, Hashable], int] = {}
+        for d in self.deliveries:
+            u, v = d.sender, d.receiver
+            try:
+                key = (u, v) if u <= v else (v, u)  # type: ignore[operator]
+            except TypeError:
+                key = (u, v) if repr(u) <= repr(v) else (v, u)
+            counts[key] = counts.get(key, 0) + 1
+        return max(counts.values(), default=0)
+
+    def payload_alphabet(self) -> Set[Any]:
+        """Distinct payloads observed; small = bounded-size messages."""
+        return {d.payload for d in self.deliveries}
+
+    @property
+    def last_informed_round(self) -> Optional[int]:
+        """Round at which the final node became informed, if any did."""
+        if not self.informed_at:
+            return None
+        steps = {d.step: d.round for d in self.deliveries}
+        return max(steps.get(s, 0) for s in self.informed_at.values())

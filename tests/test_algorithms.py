@@ -1,0 +1,254 @@
+"""Tests for the four algorithms: TreeWakeup, SchemeB, Flooding, DFS token.
+
+These pin the theorem-level guarantees: message counts, completion, wakeup
+legality, robustness to schedulers and anonymity, and behaviour on damaged
+advice.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import (
+    HELLO_MESSAGE,
+    SOURCE_MESSAGE,
+    DFSTokenWakeup,
+    Flooding,
+    SchemeB,
+    TreeWakeup,
+    dfs_message_upper_bound,
+    flooding_message_count,
+    safe_decode_children_ports,
+    safe_decode_weight_ports,
+)
+from repro.algorithms.chatter import CHAT_MESSAGE, ChatterFlood
+from repro.core import NullOracle, TruncatingOracle, run_broadcast, run_wakeup
+from repro.encoding import BitString, encode_children_ports, encode_weight_list
+from repro.network import random_connected_gnp
+from repro.oracles import LightTreeBroadcastOracle, SpanningTreeWakeupOracle
+from repro.simulator import make_scheduler
+
+SCHEDULERS = ("sync", "fifo", "random", "delay-hello", "hurry-hello")
+
+
+class TestTreeWakeup:
+    def test_exactly_n_minus_1_messages(self, zoo_graph):
+        result = run_wakeup(zoo_graph, SpanningTreeWakeupOracle(), TreeWakeup())
+        assert result.success
+        assert result.messages == zoo_graph.num_nodes - 1
+
+    @pytest.mark.parametrize("sched", SCHEDULERS)
+    def test_all_schedulers(self, k5, sched):
+        result = run_wakeup(
+            k5, SpanningTreeWakeupOracle(), TreeWakeup(), scheduler=make_scheduler(sched, 3)
+        )
+        assert result.success
+        assert result.messages == 4
+
+    def test_anonymous(self, zoo_graph):
+        result = run_wakeup(
+            zoo_graph, SpanningTreeWakeupOracle(), TreeWakeup(), anonymous=True
+        )
+        assert result.success
+
+    def test_single_payload(self, k5):
+        result = run_wakeup(k5, SpanningTreeWakeupOracle(), TreeWakeup())
+        assert result.trace.payload_alphabet() == {SOURCE_MESSAGE}
+
+    def test_every_tree_kind(self, zoo_graph):
+        for kind in ("bfs", "dfs", "random"):
+            result = run_wakeup(
+                zoo_graph, SpanningTreeWakeupOracle(kind, seed=1), TreeWakeup()
+            )
+            assert result.success
+            assert result.messages == zoo_graph.num_nodes - 1
+
+    def test_is_declared_wakeup(self):
+        assert TreeWakeup().is_wakeup_algorithm
+
+    def test_duplicate_message_ignored(self, k5):
+        # a node that somehow receives M twice forwards only once: total
+        # messages stay n-1 even under adversarial delivery order
+        result = run_wakeup(
+            k5,
+            SpanningTreeWakeupOracle(),
+            TreeWakeup(),
+            scheduler=make_scheduler("random", 99),
+        )
+        assert result.messages == 4
+
+    def test_safe_decode_garbage(self):
+        assert safe_decode_children_ports(BitString("1"), 4) == []
+        assert safe_decode_children_ports(BitString("01"), 4) == []
+
+    def test_safe_decode_out_of_range_dropped(self):
+        advice = encode_children_ports([1, 9], 16)
+        assert safe_decode_children_ports(advice, 4) == [1]
+
+    def test_truncated_advice_does_not_crash(self, k5):
+        capped = TruncatingOracle(SpanningTreeWakeupOracle(), 3)
+        result = run_wakeup(k5, capped, TreeWakeup())
+        assert not result.success  # degraded, but no exception
+
+
+class TestSchemeB:
+    def test_at_most_2n_minus_2_messages(self, zoo_graph):
+        result = run_broadcast(zoo_graph, LightTreeBroadcastOracle(), SchemeB())
+        assert result.success
+        assert result.messages <= 2 * (zoo_graph.num_nodes - 1)
+
+    def test_m_traverses_each_edge_once(self, zoo_graph):
+        result = run_broadcast(zoo_graph, LightTreeBroadcastOracle(), SchemeB())
+        m_count = result.trace.messages_with_payload(SOURCE_MESSAGE)
+        assert m_count == zoo_graph.num_nodes - 1
+
+    def test_hello_at_most_once_per_edge(self, zoo_graph):
+        result = run_broadcast(zoo_graph, LightTreeBroadcastOracle(), SchemeB())
+        hello = result.trace.messages_with_payload(HELLO_MESSAGE)
+        assert hello <= zoo_graph.num_nodes - 1
+
+    def test_messages_stay_on_tree(self, zoo_graph):
+        from repro.oracles import light_spanning_tree
+
+        result = run_broadcast(zoo_graph, LightTreeBroadcastOracle(), SchemeB())
+        tree = light_spanning_tree(zoo_graph)
+        assert result.trace.edges_used() <= tree
+
+    @pytest.mark.parametrize("sched", SCHEDULERS)
+    def test_all_schedulers(self, zoo_graph, sched):
+        result = run_broadcast(
+            zoo_graph,
+            LightTreeBroadcastOracle(),
+            SchemeB(),
+            scheduler=make_scheduler(sched, 17),
+        )
+        assert result.success
+        assert result.messages <= 2 * (zoo_graph.num_nodes - 1)
+
+    def test_anonymous(self, zoo_graph):
+        result = run_broadcast(
+            zoo_graph, LightTreeBroadcastOracle(), SchemeB(), anonymous=True
+        )
+        assert result.success
+
+    def test_bounded_alphabet(self, k5):
+        result = run_broadcast(k5, LightTreeBroadcastOracle(), SchemeB())
+        assert result.trace.payload_alphabet() <= {SOURCE_MESSAGE, HELLO_MESSAGE}
+
+    def test_not_a_wakeup_algorithm(self, k5):
+        # Scheme B sends hellos spontaneously: running it as a wakeup must
+        # be rejected by the engine (it is not a wakeup algorithm).
+        from repro.simulator import WakeupViolation
+
+        with pytest.raises(WakeupViolation):
+            run_wakeup(k5, LightTreeBroadcastOracle(), SchemeB())
+
+    def test_no_advice_no_messages(self, k5):
+        result = run_broadcast(k5, NullOracle(), SchemeB())
+        assert result.messages == 0
+        assert not result.success
+
+    def test_safe_decode_garbage(self):
+        assert safe_decode_weight_ports(BitString("1"), 4) == []
+
+    def test_safe_decode_out_of_range(self):
+        advice = encode_weight_list([2, 11])
+        assert safe_decode_weight_ports(advice, 4) == [2]
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.integers(min_value=4, max_value=20),
+        st.integers(min_value=0, max_value=10**6),
+        st.sampled_from(SCHEDULERS),
+    )
+    def test_random_graphs_random_schedulers(self, n, seed, sched):
+        rng = random.Random(seed)
+        g = random_connected_gnp(n, 0.4, rng, port_order="random")
+        result = run_broadcast(
+            g, LightTreeBroadcastOracle(), SchemeB(), scheduler=make_scheduler(sched, seed)
+        )
+        assert result.success
+        assert result.messages <= 2 * (g.num_nodes - 1)
+
+
+class TestFlooding:
+    def test_exact_message_count(self, zoo_graph):
+        result = run_broadcast(zoo_graph, NullOracle(), Flooding())
+        assert result.success
+        assert result.messages == flooding_message_count(
+            zoo_graph.num_nodes, zoo_graph.num_edges
+        )
+
+    def test_valid_as_wakeup(self, zoo_graph):
+        result = run_wakeup(zoo_graph, NullOracle(), Flooding())
+        assert result.success
+
+    def test_anonymous(self, k5):
+        assert run_broadcast(k5, NullOracle(), Flooding(), anonymous=True).success
+
+    @pytest.mark.parametrize("sched", SCHEDULERS)
+    def test_schedulers(self, k5, sched):
+        result = run_wakeup(
+            k5, NullOracle(), Flooding(), scheduler=make_scheduler(sched, 5)
+        )
+        assert result.success
+        assert result.messages == flooding_message_count(5, 10)
+
+
+class TestDFSTokenWakeup:
+    def test_completes_as_wakeup(self, zoo_graph):
+        result = run_wakeup(zoo_graph, NullOracle(), DFSTokenWakeup())
+        assert result.success
+
+    def test_message_bound(self, zoo_graph):
+        result = run_wakeup(zoo_graph, NullOracle(), DFSTokenWakeup())
+        assert result.messages <= dfs_message_upper_bound(
+            zoo_graph.num_nodes, zoo_graph.num_edges
+        )
+
+    def test_sequential_token(self, k5):
+        # at any time at most one message is in flight (token or return)
+        result = run_wakeup(k5, NullOracle(), DFSTokenWakeup())
+        deliveries = result.trace.deliveries
+        # strictly sequential: delivery steps are 1..T with no concurrency
+        assert [d.step for d in deliveries] == list(range(1, len(deliveries) + 1))
+
+    def test_anonymous(self, zoo_graph):
+        assert run_wakeup(zoo_graph, NullOracle(), DFSTokenWakeup(), anonymous=True).success
+
+    @pytest.mark.parametrize("sched", ("sync", "fifo", "random"))
+    def test_schedulers(self, k5, sched):
+        result = run_wakeup(
+            k5, NullOracle(), DFSTokenWakeup(), scheduler=make_scheduler(sched, 5)
+        )
+        assert result.success
+
+
+class TestChatterFlood:
+    def test_completes_broadcast(self, zoo_graph):
+        result = run_broadcast(zoo_graph, NullOracle(), ChatterFlood())
+        assert result.success
+
+    def test_chats_every_edge_both_ways(self, k5):
+        result = run_broadcast(k5, NullOracle(), ChatterFlood())
+        assert result.trace.messages_with_payload(CHAT_MESSAGE) == 2 * k5.num_edges
+
+    def test_not_wakeup_legal(self, k5):
+        from repro.simulator import WakeupViolation
+
+        with pytest.raises(WakeupViolation):
+            run_wakeup(k5, NullOracle(), ChatterFlood())
+
+
+class TestCostOrdering:
+    def test_advice_buys_messages(self, zoo_graph):
+        """The paper's economy: with advice, messages drop from Theta(m) to
+        Theta(n)."""
+        n, m = zoo_graph.num_nodes, zoo_graph.num_edges
+        wake = run_wakeup(zoo_graph, SpanningTreeWakeupOracle(), TreeWakeup())
+        flood = run_broadcast(zoo_graph, NullOracle(), Flooding())
+        assert wake.messages <= flood.messages
+        if m > 2 * n:  # dense enough for strict separation
+            assert wake.messages < flood.messages

@@ -1,0 +1,95 @@
+"""Tests for the model-faithfulness replay audit."""
+
+import random
+
+import pytest
+
+from repro.algorithms import (
+    DFSTokenWakeup,
+    Flooding,
+    SchemeB,
+    TreeWakeup,
+)
+from repro.core import NullOracle, run_broadcast, run_wakeup
+from repro.core.audit import replay_audit
+from repro.core.scheme import Algorithm
+from repro.encoding import BitString
+from repro.network import random_connected_gnp
+from repro.oracles import LightTreeBroadcastOracle, SpanningTreeWakeupOracle
+from repro.simulator import make_scheduler
+
+
+def _graph(seed=5, n=12):
+    return random_connected_gnp(n, 0.4, random.Random(seed), port_order="random")
+
+
+class TestLibraryAlgorithmsAreFaithful:
+    @pytest.mark.parametrize(
+        "task,oracle,algorithm",
+        [
+            ("wakeup", SpanningTreeWakeupOracle(), TreeWakeup()),
+            ("broadcast", LightTreeBroadcastOracle(), SchemeB()),
+            ("broadcast", NullOracle(), Flooding()),
+            ("wakeup", NullOracle(), DFSTokenWakeup()),
+        ],
+        ids=["tree-wakeup", "scheme-b", "flooding", "dfs"],
+    )
+    def test_faithful_under_every_scheduler(self, task, oracle, algorithm):
+        graph = _graph()
+        advice = oracle.advise(graph)
+        for sched in ("sync", "fifo", "random"):
+            runner = run_wakeup if task == "wakeup" else run_broadcast
+            result = runner(
+                graph, oracle, algorithm, scheduler=make_scheduler(sched, 3), advice=advice
+            )
+            assert result.success
+            report = replay_audit(graph, algorithm, advice, result.trace)
+            assert report.faithful, [str(m) for m in report.mismatches]
+            assert report.events_checked > 0
+
+
+class _StatefulCheat(Algorithm):
+    """A deliberately unfaithful algorithm: schemes share a global counter,
+    so behaviour depends on *other nodes'* activity — outside the model."""
+
+    is_wakeup_algorithm = False
+
+    def __init__(self) -> None:
+        self.global_count = 0
+        self._factory_calls = 0
+
+    def scheme_for(self, advice, is_source, node_id, degree):
+        outer = self
+
+        class Cheat:
+            def on_init(self, ctx):
+                outer.global_count += 1
+                # modulus coprime to the node count, so the counter offset
+                # accumulated across replays changes the decision
+                if ctx.is_source and outer.global_count % 7 < 3:
+                    ctx.send("M", 0)
+
+            def on_receive(self, ctx, payload, port):
+                pass
+
+        return Cheat()
+
+
+class TestAuditCatchesViolations:
+    def test_shared_state_detected(self):
+        graph = _graph(9)
+        algorithm = _StatefulCheat()
+        result = run_broadcast(graph, NullOracle(), algorithm)
+        report = replay_audit(graph, algorithm, NullOracle().advise(graph), result.trace)
+        # the global counter keeps incrementing across replays, flipping the
+        # source's parity-dependent send — the audit must notice
+        assert not report.faithful
+
+    def test_total_mismatch_detected(self):
+        # auditing with the WRONG algorithm must fail the total cross-check
+        graph = _graph(4)
+        oracle = LightTreeBroadcastOracle()
+        advice = oracle.advise(graph)
+        result = run_broadcast(graph, oracle, SchemeB(), advice=advice)
+        report = replay_audit(graph, Flooding(), advice, result.trace)
+        assert not report.faithful

@@ -1,0 +1,193 @@
+"""Unit and property tests for the BitString value type."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.encoding import BitReader, BitString
+
+bits_lists = st.lists(st.integers(min_value=0, max_value=1), max_size=64)
+
+
+class TestConstruction:
+    def test_empty(self):
+        assert len(BitString()) == 0
+        assert len(BitString.empty()) == 0
+        assert not BitString.empty()
+
+    def test_from_string(self):
+        s = BitString("1010")
+        assert len(s) == 4
+        assert list(s) == [1, 0, 1, 0]
+
+    def test_from_list(self):
+        assert BitString([1, 1, 0]).to01() == "110"
+
+    def test_from_bitstring_copies(self):
+        a = BitString("101")
+        assert BitString(a) == a
+
+    def test_leading_zeros_preserved(self):
+        s = BitString("0001")
+        assert len(s) == 4
+        assert s.to01() == "0001"
+
+    def test_invalid_character(self):
+        with pytest.raises(ValueError):
+            BitString("10x1")
+
+    def test_invalid_bit_value(self):
+        with pytest.raises(ValueError):
+            BitString([0, 2])
+
+    def test_from_int(self):
+        assert BitString.from_int(5, 4).to01() == "0101"
+        assert BitString.from_int(0, 3).to01() == "000"
+        assert BitString.from_int(0, 0).to01() == ""
+
+    def test_from_int_overflow(self):
+        with pytest.raises(ValueError):
+            BitString.from_int(8, 3)
+
+    def test_from_int_negative(self):
+        with pytest.raises(ValueError):
+            BitString.from_int(-1, 3)
+
+
+class TestSequence:
+    def test_indexing(self):
+        s = BitString("1001")
+        assert s[0] == 1
+        assert s[1] == 0
+        assert s[3] == 1
+        assert s[-1] == 1
+        assert s[-4] == 1
+
+    def test_index_out_of_range(self):
+        with pytest.raises(IndexError):
+            BitString("10")[2]
+
+    def test_slicing(self):
+        s = BitString("110010")
+        assert s[1:4].to01() == "100"
+        assert s[:0].to01() == ""
+        assert s[2:].to01() == "0010"
+        assert s[::2].to01() == "101"
+
+    def test_iteration(self):
+        assert list(BitString("011")) == [0, 1, 1]
+
+    def test_bool(self):
+        assert BitString("0")
+        assert not BitString("")
+
+
+class TestOperations:
+    def test_concat(self):
+        assert (BitString("10") + BitString("01")).to01() == "1001"
+
+    def test_concat_empty(self):
+        s = BitString("101")
+        assert (s + BitString.empty()) == s
+        assert (BitString.empty() + s) == s
+
+    def test_concat_many(self):
+        parts = [BitString("1"), BitString("00"), BitString(""), BitString("11")]
+        assert BitString.concat(parts).to01() == "10011"
+
+    def test_equality_and_hash(self):
+        assert BitString("101") == BitString([1, 0, 1])
+        assert BitString("101") != BitString("0101")  # length matters
+        assert hash(BitString("11")) == hash(BitString("11"))
+
+    def test_eq_other_type(self):
+        assert BitString("1") != "1"
+
+    def test_to_int(self):
+        assert BitString("1101").to_int() == 13
+        assert BitString("").to_int() == 0
+
+    def test_repr_roundtrip(self):
+        s = BitString("0110")
+        assert eval(repr(s)) == s
+
+
+class TestBitReader:
+    def test_read_bits(self):
+        r = BitReader(BitString("1011"))
+        assert r.read_bit() == 1
+        assert r.read_bit() == 0
+        assert r.remaining == 2
+        assert r.position == 2
+
+    def test_read_width(self):
+        r = BitReader(BitString("110101"))
+        assert r.read(3).to01() == "110"
+        assert r.read_int(3) == 0b101
+        assert r.exhausted()
+
+    def test_read_past_end(self):
+        r = BitReader(BitString("1"))
+        r.read_bit()
+        with pytest.raises(EOFError):
+            r.read_bit()
+        with pytest.raises(EOFError):
+            r.read(1)
+
+    def test_peek(self):
+        r = BitReader(BitString("01"))
+        assert r.peek_bit() == 0
+        assert r.position == 0
+        r.read_bit()
+        assert r.peek_bit() == 1
+
+    def test_peek_empty(self):
+        with pytest.raises(EOFError):
+            BitReader(BitString("")).peek_bit()
+
+    def test_read_rest(self):
+        r = BitReader(BitString("10011"))
+        r.read_bit()
+        assert r.read_rest().to01() == "0011"
+        assert r.exhausted()
+
+    def test_read_negative_width(self):
+        with pytest.raises(ValueError):
+            BitReader(BitString("1")).read(-1)
+
+
+class TestProperties:
+    @given(bits_lists)
+    def test_roundtrip_list(self, bits):
+        assert list(BitString(bits)) == bits
+
+    @given(bits_lists)
+    def test_to01_roundtrip(self, bits):
+        s = BitString(bits)
+        assert BitString(s.to01()) == s
+
+    @given(bits_lists, bits_lists)
+    def test_concat_length(self, a, b):
+        assert len(BitString(a) + BitString(b)) == len(a) + len(b)
+
+    @given(bits_lists, bits_lists)
+    def test_concat_content(self, a, b):
+        assert list(BitString(a) + BitString(b)) == a + b
+
+    @given(st.integers(min_value=0, max_value=2**40 - 1), st.integers(min_value=40, max_value=60))
+    def test_from_int_roundtrip(self, value, width):
+        assert BitString.from_int(value, width).to_int() == value
+
+    @given(bits_lists, st.data())
+    def test_slice_matches_list(self, bits, data):
+        s = BitString(bits)
+        start = data.draw(st.integers(min_value=0, max_value=len(bits)))
+        stop = data.draw(st.integers(min_value=start, max_value=len(bits)))
+        assert list(s[start:stop]) == bits[start:stop]
+
+    @given(bits_lists)
+    def test_reader_consumes_everything(self, bits):
+        r = BitReader(BitString(bits))
+        out = [r.read_bit() for _ in range(len(bits))]
+        assert out == bits
+        assert r.exhausted()

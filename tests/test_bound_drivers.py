@@ -1,0 +1,182 @@
+"""Tests for the Theorem 2.2 / Theorem 3.2 executable drivers."""
+
+import pytest
+
+from repro.algorithms import Flooding, SchemeB, TreeWakeup
+from repro.algorithms.chatter import ChatterFlood
+from repro.core import NullOracle, Oracle, AdviceMap
+from repro.lowerbounds import (
+    adversarial_gadget,
+    adversary_demonstration,
+    choose_adversarial_c,
+    classify_clique,
+    counting_curve,
+    counting_curve_broadcast,
+    empirical_threshold,
+    gadget_broadcast_outcome,
+    gadget_wakeup_upper,
+    largest_biting_alpha,
+    truncated_oracle_outcome,
+    zero_advice_cost,
+)
+from repro.oracles import LightTreeBroadcastOracle
+
+
+class TestWakeupDriver:
+    def test_gadget_upper(self):
+        row = gadget_wakeup_upper(12, seed=1)
+        assert row.gadget_nodes == 24
+        assert row.success
+        assert row.messages == 23
+        assert 0 < row.bits_per_node_log < 3
+
+    def test_truncation_full_vs_partial(self):
+        full = truncated_oracle_outcome(12, 1.0, seed=2)
+        half = truncated_oracle_outcome(12, 0.5, seed=2)
+        assert full.success
+        assert not half.success
+        assert half.informed < full.informed
+        assert half.budget_bits < full.budget_bits
+
+    def test_zero_advice_quadratic(self):
+        out = zero_advice_cost(12, seed=3)
+        assert out["flooding_success"] and out["dfs_success"]
+        n = out["gadget_nodes"]
+        # Theta(m) = Theta(n^2) on the gadgets: far above linear
+        assert out["flooding_messages"] > 4 * n
+        assert out["dfs_messages"] >= out["flooding_messages"]
+
+    def test_counting_curve_rows(self):
+        rows = counting_curve([2**10, 2**12], alpha=0.2)
+        assert [r.n for r in rows] == [2**10, 2**12]
+        assert rows[1].forced_per_node > rows[0].forced_per_node
+
+    def test_counting_curve_subdivided_factor(self):
+        plain = counting_curve([2**12], 0.2, subdivided_factor=1)[0]
+        doubled = counting_curve([2**12], 0.2, subdivided_factor=2)[0]
+        assert doubled.gadget_nodes == 3 * 2**12
+        assert doubled.forced_messages > plain.forced_messages
+
+    def test_largest_biting_alpha_monotone_in_c(self):
+        n = 2**18
+        alphas = [largest_biting_alpha(n, c, step=0.1) for c in (1, 2, 3)]
+        assert alphas == sorted(alphas)
+
+    def test_adversary_demonstration(self):
+        results = adversary_demonstration(5, 2)
+        assert all(r.certified for r in results)
+
+    def test_empirical_threshold_fields(self):
+        out = empirical_threshold(16)
+        assert out["gadget_nodes"] == 32
+        assert out["upper_bound_bits"] > 0
+
+
+class _NeedsAdvice:
+    """An algorithm that refuses to produce schemes without advice (heavy)."""
+
+    is_wakeup_algorithm = False
+    name = "NeedsAdvice"
+
+    def scheme_for(self, advice, is_source, node_id, degree):
+        if len(advice) == 0:
+            raise ValueError("this algorithm requires advice at every node")
+        raise AssertionError("not reached in the classification test")
+
+
+class TestBroadcastDriver:
+    def test_schemeb_cliques_external(self):
+        c = classify_clique(SchemeB(), 16, 4, 1)
+        assert c.kind == "external"
+        assert c.internal_messages == 0
+        a, b = c.hidden_edge
+        assert 1 <= a < b <= 4
+
+    def test_flooding_cliques_external(self):
+        assert classify_clique(Flooding(), 16, 4, 2).kind == "external"
+
+    def test_chatter_cliques_internal(self):
+        c = classify_clique(ChatterFlood(), 16, 4, 1)
+        assert c.kind == "internal"
+        # every clique edge traversed: 2 * C(4,2) chat messages
+        assert c.internal_messages == 12
+
+    def test_heavy_classification(self):
+        c = classify_clique(_NeedsAdvice(), 16, 4, 1)
+        assert c.kind == "heavy"
+
+    def test_choose_adversarial_c_length(self):
+        classes = choose_adversarial_c(SchemeB(), 16, 4)
+        assert len(classes) == 4
+        assert [c.index for c in classes] == [1, 2, 3, 4]
+
+    def test_choose_requires_divisibility(self):
+        from repro.network import GraphError
+
+        with pytest.raises(GraphError):
+            choose_adversarial_c(SchemeB(), 10, 4)
+
+    def test_adversarial_gadget_valid(self):
+        graph, classes = adversarial_gadget(SchemeB(), 16, 4, seed=3)
+        graph.validate()
+        assert graph.num_nodes == 32
+        assert len(classes) == 4
+
+    def test_full_oracle_succeeds_on_gadget(self):
+        out = gadget_broadcast_outcome(SchemeB(), LightTreeBroadcastOracle(), 16, 4, seed=4)
+        assert out.success
+        assert out.messages <= 2 * (out.graph_nodes - 1)
+
+    def test_capped_oracle_fails_on_gadget(self):
+        out = gadget_broadcast_outcome(
+            SchemeB(), LightTreeBroadcastOracle(), 16, 4, seed=4, budget=2
+        )
+        assert not out.success
+
+    def test_chatter_pays_superlinear(self):
+        out = gadget_broadcast_outcome(ChatterFlood(), NullOracle(), 16, 4, seed=4)
+        n, k = 16, 4
+        assert out.messages >= n * (k - 1) / 8
+
+    def test_counting_curve_broadcast(self):
+        rows = counting_curve_broadcast([(2**16, 4)])
+        assert rows[0].bound_bites
+        assert rows[0].oracle_bits == 2**16 // 8
+
+    def test_counting_curve_divisibility(self):
+        from repro.network import GraphError
+
+        with pytest.raises(GraphError):
+            counting_curve_broadcast([(10, 4)])
+
+
+class TestDiscoveryAccounting:
+    def test_capped_advice_cliques_never_found(self):
+        from repro.lowerbounds import clique_discovery_accounting
+
+        out = gadget_broadcast_outcome(
+            SchemeB(), LightTreeBroadcastOracle(), 16, 4, seed=2, budget=2
+        )
+        acct = clique_discovery_accounting(out.trace, 16, 4)
+        assert acct.total == 4
+        assert acct.self_revealing == 0
+        # the proof's quantity: at least n/4k cliques not self-revealing
+        assert acct.not_self_revealing >= 16 // (4 * 4)
+
+    def test_chatter_cliques_all_self_reveal_but_pay(self):
+        from repro.algorithms.chatter import ChatterFlood
+        from repro.lowerbounds import clique_discovery_accounting
+
+        out = gadget_broadcast_outcome(ChatterFlood(), NullOracle(), 16, 4, seed=2)
+        acct = clique_discovery_accounting(out.trace, 16, 4)
+        assert acct.self_revealing == acct.total == 4
+        # the I_int+ branch: each internal clique pays k(k-1)/2 messages
+        assert out.messages >= 4 * (4 * 3 // 2)
+
+    def test_full_oracle_informs_all_cliques(self):
+        from repro.lowerbounds import clique_discovery_accounting
+
+        out = gadget_broadcast_outcome(SchemeB(), LightTreeBroadcastOracle(), 16, 4, seed=2)
+        acct = clique_discovery_accounting(out.trace, 16, 4)
+        assert acct.untouched == 0
+        assert out.success

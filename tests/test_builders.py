@@ -1,0 +1,267 @@
+"""Tests for the stock topology builders."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network import (
+    FAMILY_BUILDERS,
+    GraphError,
+    balanced_tree,
+    complete_bipartite,
+    complete_graph_star,
+    cycle_graph,
+    grid_graph,
+    hypercube_graph,
+    path_graph,
+    random_connected_gnp,
+    random_regular,
+    random_tree,
+    star_graph,
+)
+
+
+class TestCompleteGraphStar:
+    def test_basic_shape(self):
+        g = complete_graph_star(5)
+        assert g.num_nodes == 5
+        assert g.num_edges == 10
+        assert g.source == 1
+        assert g.frozen
+
+    def test_rotational_ports_are_canonical(self):
+        # port at i towards j is (j - i - 1) mod n
+        g = complete_graph_star(6)
+        for i in range(1, 7):
+            for j in range(1, 7):
+                if i != j:
+                    assert g.port(i, j) == (j - i - 1) % 6
+
+    @given(st.integers(min_value=2, max_value=24))
+    def test_ports_bijective_for_all_n(self, n):
+        g = complete_graph_star(n)
+        for v in g.nodes():
+            assert sorted(g.ports(v)) == list(range(n - 1))
+
+    def test_too_small(self):
+        with pytest.raises(GraphError):
+            complete_graph_star(1)
+
+
+class TestBasicFamilies:
+    def test_path(self):
+        g = path_graph(5)
+        assert g.num_nodes == 5
+        assert g.num_edges == 4
+        assert g.degree(0) == 1
+        assert g.degree(2) == 2
+
+    def test_cycle(self):
+        g = cycle_graph(6)
+        assert g.num_edges == 6
+        assert all(g.degree(v) == 2 for v in g.nodes())
+
+    def test_cycle_too_small(self):
+        with pytest.raises(GraphError):
+            cycle_graph(2)
+
+    def test_star_center_source(self):
+        g = star_graph(7)
+        assert g.num_nodes == 7
+        assert g.degree(0) == 6
+        assert g.source == 0
+
+    def test_star_leaf_source(self):
+        g = star_graph(7, center_source=False)
+        assert g.source == 1
+
+    def test_complete_bipartite(self):
+        g = complete_bipartite(3, 4)
+        assert g.num_nodes == 7
+        assert g.num_edges == 12
+
+    def test_grid(self):
+        g = grid_graph(3, 4)
+        assert g.num_nodes == 12
+        assert g.num_edges == 3 * 3 + 2 * 4
+        assert g.source == (0, 0)
+
+    def test_hypercube(self):
+        g = hypercube_graph(4)
+        assert g.num_nodes == 16
+        assert all(g.degree(v) == 4 for v in g.nodes())
+
+    def test_balanced_tree(self):
+        g = balanced_tree(2, 3)
+        assert g.num_nodes == 15
+        assert g.num_edges == 14
+
+    def test_invalid_parameters(self):
+        with pytest.raises(GraphError):
+            grid_graph(0, 3)
+        with pytest.raises(GraphError):
+            hypercube_graph(0)
+        with pytest.raises(GraphError):
+            star_graph(1)
+        with pytest.raises(GraphError):
+            complete_bipartite(0, 2)
+        with pytest.raises(GraphError):
+            balanced_tree(0, 1)
+
+
+class TestRandomFamilies:
+    def test_random_tree_is_tree(self):
+        for seed in range(5):
+            g = random_tree(12, random.Random(seed))
+            assert g.num_edges == g.num_nodes - 1
+
+    def test_random_tree_reproducible(self):
+        a = random_tree(10, random.Random(7))
+        b = random_tree(10, random.Random(7))
+        assert set(a.edges()) == set(b.edges())
+
+    def test_random_tree_too_small(self):
+        with pytest.raises(GraphError):
+            random_tree(1, random.Random(0))
+
+    def test_gnp_connected(self):
+        for seed in range(5):
+            g = random_connected_gnp(20, 0.2, random.Random(seed))
+            assert g.num_nodes == 20
+            g.validate()
+
+    def test_gnp_low_p_still_connected(self):
+        # the fallback path: p so low the raw sample is never connected
+        g = random_connected_gnp(30, 0.01, random.Random(1), max_tries=3)
+        g.validate()
+
+    def test_gnp_invalid_p(self):
+        with pytest.raises(GraphError):
+            random_connected_gnp(5, 1.5, random.Random(0))
+
+    def test_random_regular(self):
+        g = random_regular(12, 3, random.Random(2))
+        assert all(g.degree(v) == 3 for v in g.nodes())
+
+    def test_random_regular_parity(self):
+        with pytest.raises(GraphError):
+            random_regular(7, 3, random.Random(0))
+
+    def test_random_regular_degree_too_big(self):
+        with pytest.raises(GraphError):
+            random_regular(4, 4, random.Random(0))
+
+    def test_random_port_order(self):
+        sorted_g = random_connected_gnp(15, 0.4, random.Random(5))
+        shuffled = random_connected_gnp(15, 0.4, random.Random(5), port_order="random")
+        shuffled.validate()
+        assert set(sorted_g.edges()) == set(shuffled.edges())
+
+
+class TestFamilyRegistry:
+    @pytest.mark.parametrize("family", sorted(FAMILY_BUILDERS))
+    def test_every_family_builds_and_validates(self, family):
+        g = FAMILY_BUILDERS[family](16)
+        g.validate()
+        assert g.num_nodes >= 3
+
+    @pytest.mark.parametrize("family", sorted(FAMILY_BUILDERS))
+    def test_families_reproducible(self, family):
+        a = FAMILY_BUILDERS[family](20)
+        b = FAMILY_BUILDERS[family](20)
+        assert set(a.edges()) == set(b.edges())
+
+    def test_family_sizes_scale(self):
+        for family in sorted(FAMILY_BUILDERS):
+            small = FAMILY_BUILDERS[family](16).num_nodes
+            large = FAMILY_BUILDERS[family](64).num_nodes
+            assert large > small
+
+
+class TestExtraFamilies:
+    def test_lollipop(self):
+        from repro.network import lollipop_graph
+
+        g = lollipop_graph(5, 4)
+        assert g.num_nodes == 9
+        assert g.num_edges == 5 * 4 // 2 + 4
+        g.validate()
+
+    def test_lollipop_tail_source(self):
+        from repro.network import lollipop_graph
+
+        g = lollipop_graph(4, 3, source_in_clique=False)
+        assert g.degree(g.source) == 1
+
+    def test_lollipop_invalid(self):
+        from repro.network import lollipop_graph
+
+        with pytest.raises(GraphError):
+            lollipop_graph(2, 1)
+
+    def test_barbell(self):
+        from repro.network import barbell_graph
+
+        g = barbell_graph(4, 2)
+        assert g.num_nodes == 10
+        g.validate()
+
+    def test_barbell_invalid(self):
+        from repro.network import barbell_graph
+
+        with pytest.raises(GraphError):
+            barbell_graph(2, 0)
+
+    def test_wheel(self):
+        from repro.network import wheel_graph
+
+        g = wheel_graph(8)
+        assert g.num_nodes == 8
+        assert g.degree(0) == 7  # hub
+        g.validate()
+
+    def test_wheel_center_source(self):
+        from repro.network import wheel_graph
+
+        assert wheel_graph(6, center_source=True).source == 0
+
+    def test_wheel_invalid(self):
+        from repro.network import wheel_graph
+
+        with pytest.raises(GraphError):
+            wheel_graph(3)
+
+    def test_caterpillar(self):
+        from repro.network import caterpillar_graph
+
+        g = caterpillar_graph(4, 2)
+        assert g.num_nodes == 4 + 8
+        assert g.num_edges == 3 + 8
+        g.validate()
+
+    def test_caterpillar_no_legs(self):
+        from repro.network import caterpillar_graph
+
+        g = caterpillar_graph(5, 0)
+        assert g.num_nodes == 5
+
+    def test_caterpillar_invalid(self):
+        from repro.network import caterpillar_graph
+
+        with pytest.raises(GraphError):
+            caterpillar_graph(1, 2)
+
+    @pytest.mark.parametrize("family", ("lollipop", "barbell", "wheel", "caterpillar"))
+    def test_new_families_run_both_theorems(self, family):
+        from repro.algorithms import SchemeB, TreeWakeup
+        from repro.core import run_broadcast, run_wakeup
+        from repro.oracles import LightTreeBroadcastOracle, SpanningTreeWakeupOracle
+
+        g = FAMILY_BUILDERS[family](20)
+        w = run_wakeup(g, SpanningTreeWakeupOracle(), TreeWakeup())
+        b = run_broadcast(g, LightTreeBroadcastOracle(), SchemeB())
+        assert w.success and w.messages == g.num_nodes - 1
+        assert b.success and b.messages <= 2 * (g.num_nodes - 1)

@@ -1,0 +1,97 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_lists_all_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for i in range(1, 12):
+            assert f"E{i}:" in out
+
+
+class TestExperiment:
+    def test_runs_one(self, capsys):
+        assert main(["experiment", "E3"]) == 0
+        out = capsys.readouterr().out
+        assert "[E3]" in out
+        assert "4n" in out
+
+    def test_runs_many(self, capsys):
+        assert main(["experiment", "E3", "E8"]) == 0
+        out = capsys.readouterr().out
+        assert "[E3]" in out and "[E8]" in out
+
+    def test_unknown_id(self, capsys):
+        assert main(["experiment", "E42"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_case_insensitive(self, capsys):
+        assert main(["experiment", "e8"]) == 0
+        assert "[E8]" in capsys.readouterr().out
+
+
+class TestSeparation:
+    def test_default(self, capsys):
+        assert main(["separation", "--sizes", "16,32,64"]) == 0
+        out = capsys.readouterr().out
+        assert "[E6]" in out
+        assert "wakeup_bits" in out
+
+    def test_family_option(self, capsys):
+        assert main(["separation", "--family", "gnp_sparse", "--sizes", "16,32,64"]) == 0
+        assert "gnp_sparse" in capsys.readouterr().out
+
+
+class TestQuickstart:
+    def test_default_n(self, capsys):
+        assert main(["quickstart"]) == 0
+        out = capsys.readouterr().out
+        assert "wakeup" in out and "broadcast" in out and "flooding" in out
+
+    def test_custom_n(self, capsys):
+        assert main(["quickstart", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "n=16" in out
+
+
+class TestArgparseBehaviour:
+    def test_no_command_errors(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command_errors(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+
+class TestReport:
+    def test_writes_markdown(self, tmp_path, capsys):
+        path = str(tmp_path / "report.md")
+        assert main(["report", path, "--only", "E3"]) == 0
+        text = open(path).read()
+        assert "# Experiment report" in text
+        assert "## E3" in text
+        assert "| family |" in text
+        assert "Findings:" in text
+
+    def test_multiple_ids(self, tmp_path):
+        path = str(tmp_path / "r.md")
+        assert main(["report", path, "--only", "E3,E8"]) == 0
+        text = open(path).read()
+        assert "## E3" in text and "## E8" in text
+
+
+class TestCompare:
+    def test_default(self, capsys):
+        assert main(["compare", "--n", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "Thm 2.1 pair" in out
+        assert "n=16" in out
+
+    def test_unknown_family(self, capsys):
+        assert main(["compare", "--family", "nope"]) == 2
+        assert "unknown family" in capsys.readouterr().err

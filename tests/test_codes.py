@@ -1,0 +1,158 @@
+"""Unit and property tests for the integer codes."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.encoding import (
+    BitReader,
+    BitString,
+    code_length,
+    decode_doubled,
+    decode_elias_delta,
+    decode_elias_gamma,
+    decode_paired,
+    decode_paired_list,
+    encode_binary,
+    encode_doubled,
+    encode_elias_delta,
+    encode_elias_gamma,
+    encode_fixed,
+    encode_paired,
+    encode_paired_list,
+)
+
+small_ints = st.integers(min_value=0, max_value=2**20)
+positive_ints = st.integers(min_value=1, max_value=2**20)
+
+
+class TestCodeLength:
+    def test_paper_definition(self):
+        # #2(w) = 1 if w <= 1, floor(log w) + 1 otherwise
+        assert code_length(0) == 1
+        assert code_length(1) == 1
+        assert code_length(2) == 2
+        assert code_length(3) == 2
+        assert code_length(4) == 3
+        assert code_length(255) == 8
+        assert code_length(256) == 9
+
+    def test_negative(self):
+        with pytest.raises(ValueError):
+            code_length(-1)
+
+    @given(small_ints)
+    def test_matches_encode_binary(self, w):
+        assert len(encode_binary(w)) == code_length(w)
+
+
+class TestBinaryAndFixed:
+    def test_binary_values(self):
+        assert encode_binary(0).to01() == "0"
+        assert encode_binary(1).to01() == "1"
+        assert encode_binary(6).to01() == "110"
+
+    def test_fixed(self):
+        assert encode_fixed(6, 5).to01() == "00110"
+
+    @given(small_ints)
+    def test_binary_roundtrip(self, w):
+        assert encode_binary(w).to_int() == w
+
+
+class TestDoubled:
+    def test_known_codeword(self):
+        # 5 = 101 -> 11 00 11 10
+        assert encode_doubled(5).to01() == "11001110"
+
+    def test_length(self):
+        for w in (0, 1, 5, 100):
+            assert len(encode_doubled(w)) == 2 * code_length(w) + 2
+
+    @given(small_ints)
+    def test_roundtrip(self, w):
+        reader = BitReader(encode_doubled(w))
+        assert decode_doubled(reader) == w
+        assert reader.exhausted()
+
+    @given(small_ints, small_ints)
+    def test_roundtrip_concatenated(self, a, b):
+        reader = BitReader(encode_doubled(a) + encode_doubled(b))
+        assert decode_doubled(reader) == a
+        assert decode_doubled(reader) == b
+
+    def test_malformed_01_pair(self):
+        with pytest.raises(ValueError):
+            decode_doubled(BitReader(BitString("01")))
+
+    def test_malformed_empty_payload(self):
+        with pytest.raises(ValueError):
+            decode_doubled(BitReader(BitString("10")))
+
+    def test_truncated(self):
+        with pytest.raises(EOFError):
+            decode_doubled(BitReader(BitString("11")))
+
+
+class TestPaired:
+    def test_exact_length(self):
+        # The Theorem 3.1 requirement: exactly 2 * #2(w) bits.
+        for w in (0, 1, 2, 7, 8, 1000):
+            assert len(encode_paired(w)) == 2 * code_length(w)
+
+    def test_known_codeword(self):
+        # 5 = 101 -> 1(cont=1) 0(cont=1) 1(cont=0) = 11 01 10
+        assert encode_paired(5).to01() == "110110"
+        assert encode_paired(0).to01() == "00"
+        assert encode_paired(1).to01() == "10"
+
+    @given(small_ints)
+    def test_roundtrip(self, w):
+        reader = BitReader(encode_paired(w))
+        assert decode_paired(reader) == w
+        assert reader.exhausted()
+
+    @given(st.lists(small_ints, max_size=20))
+    def test_list_roundtrip(self, ws):
+        assert decode_paired_list(encode_paired_list(ws)) == ws
+
+    @given(st.lists(small_ints, max_size=20))
+    def test_list_length(self, ws):
+        assert len(encode_paired_list(ws)) == 2 * sum(code_length(w) for w in ws)
+
+
+class TestElias:
+    def test_gamma_known(self):
+        assert encode_elias_gamma(1).to01() == "1"
+        assert encode_elias_gamma(2).to01() == "010"
+        assert encode_elias_gamma(5).to01() == "00101"
+
+    def test_gamma_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            encode_elias_gamma(0)
+
+    def test_delta_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            encode_elias_delta(0)
+
+    @given(positive_ints)
+    def test_gamma_roundtrip(self, w):
+        reader = BitReader(encode_elias_gamma(w))
+        assert decode_elias_gamma(reader) == w
+        assert reader.exhausted()
+
+    @given(positive_ints)
+    def test_delta_roundtrip(self, w):
+        reader = BitReader(encode_elias_delta(w))
+        assert decode_elias_delta(reader) == w
+        assert reader.exhausted()
+
+    @given(st.lists(positive_ints, min_size=1, max_size=10))
+    def test_delta_stream(self, ws):
+        stream = BitString.concat([encode_elias_delta(w) for w in ws])
+        reader = BitReader(stream)
+        assert [decode_elias_delta(reader) for _ in ws] == ws
+
+    @given(st.integers(min_value=16, max_value=2**20))
+    def test_delta_shorter_than_gamma_eventually(self, w):
+        assert len(encode_elias_delta(w)) <= len(encode_elias_gamma(w))

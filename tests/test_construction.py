@@ -1,0 +1,165 @@
+"""Tests for the spanning-tree construction task (E11 machinery)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import AdvisedTreeConstruction, DFSTreeConstruction
+from repro.core import NullOracle, run_tree_construction, verify_parent_outputs
+from repro.encoding import BitString
+from repro.network import complete_graph_star, path_graph, random_connected_gnp
+from repro.oracles import (
+    ParentPointerOracle,
+    decode_parent_port,
+    parent_port_width,
+)
+
+
+class TestParentPointerOracle:
+    def test_source_gets_nothing(self, k5):
+        advice = ParentPointerOracle().advise(k5)
+        assert len(advice[k5.source]) == 0
+
+    def test_advice_decodes_to_tree_parent(self, zoo_graph):
+        from repro.oracles import build_spanning_tree
+
+        advice = ParentPointerOracle().advise(zoo_graph)
+        parent = build_spanning_tree(zoo_graph, "bfs")
+        for v in zoo_graph.nodes():
+            if parent[v] is None:
+                continue
+            port = decode_parent_port(advice[v], zoo_graph.degree(v))
+            assert zoo_graph.neighbor_via(v, port) == parent[v]
+
+    def test_width_formula(self):
+        assert parent_port_width(1) == 1
+        assert parent_port_width(2) == 1
+        assert parent_port_width(3) == 2
+        assert parent_port_width(9) == 4
+
+    def test_decode_rejects_wrong_length(self):
+        assert decode_parent_port(BitString("101"), 4) is None  # width 2 expected
+
+    def test_decode_rejects_out_of_range(self):
+        assert decode_parent_port(BitString("11"), 3) is None  # port 3, degree 3
+
+    def test_smaller_than_wakeup_oracle(self, k5):
+        from repro.oracles import SpanningTreeWakeupOracle
+
+        assert ParentPointerOracle().size_on(k5) < SpanningTreeWakeupOracle().size_on(k5)
+
+
+class TestVerifyParentOutputs:
+    def test_valid_path(self):
+        g = path_graph(4)
+        outputs = {0: None, 1: g.port(1, 0), 2: g.port(2, 1), 3: g.port(3, 2)}
+        assert verify_parent_outputs(g, outputs)
+
+    def test_missing_output(self):
+        g = path_graph(3)
+        assert not verify_parent_outputs(g, {0: None, 1: g.port(1, 0)})
+
+    def test_source_must_output_none(self):
+        g = path_graph(3)
+        outputs = {0: 0, 1: g.port(1, 0), 2: g.port(2, 1)}
+        assert not verify_parent_outputs(g, outputs)
+
+    def test_cycle_detected(self, triangle):
+        # 1 -> 2 -> 1 is a parent cycle that never reaches the source 0
+        outputs = {
+            0: None,
+            1: triangle.port(1, 2),
+            2: triangle.port(2, 1),
+        }
+        assert not verify_parent_outputs(triangle, outputs)
+
+    def test_invalid_port(self):
+        g = path_graph(3)
+        outputs = {0: None, 1: 9, 2: g.port(2, 1)}
+        assert not verify_parent_outputs(g, outputs)
+
+
+class TestAdvisedConstruction:
+    def test_zero_messages(self, zoo_graph):
+        result = run_tree_construction(
+            zoo_graph, ParentPointerOracle(), AdvisedTreeConstruction()
+        )
+        assert result.success
+        assert result.messages == 0
+
+    def test_null_oracle_fails(self, k5):
+        result = run_tree_construction(k5, NullOracle(), AdvisedTreeConstruction())
+        assert not result.success
+        assert result.quiescent
+
+    def test_summary(self, k5):
+        result = run_tree_construction(k5, ParentPointerOracle(), AdvisedTreeConstruction())
+        assert "tree-construction" in result.summary()
+
+
+class TestDFSConstruction:
+    def test_valid_tree_zero_advice(self, zoo_graph):
+        result = run_tree_construction(zoo_graph, NullOracle(), DFSTreeConstruction())
+        assert result.success
+        assert result.oracle_bits == 0
+
+    def test_theta_m_messages(self):
+        g = complete_graph_star(16)
+        result = run_tree_construction(g, NullOracle(), DFSTreeConstruction())
+        assert result.messages > g.num_edges  # pays per edge, not per node
+
+    def test_same_messages_as_dfs_wakeup(self, k5):
+        from repro.algorithms import DFSTokenWakeup
+        from repro.core import run_wakeup
+
+        construct = run_tree_construction(k5, NullOracle(), DFSTreeConstruction())
+        wakeup = run_wakeup(k5, NullOracle(), DFSTokenWakeup())
+        assert construct.messages == wakeup.messages
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        st.integers(min_value=3, max_value=14),
+        st.integers(min_value=0, max_value=10**6),
+    )
+    def test_random_graphs(self, n, seed):
+        rng = random.Random(seed)
+        g = random_connected_gnp(n, 0.5, rng, port_order="random")
+        result = run_tree_construction(g, NullOracle(), DFSTreeConstruction())
+        assert result.success
+
+
+class TestOutputPlumbing:
+    def test_outputs_on_trace(self, k5):
+        result = run_tree_construction(k5, ParentPointerOracle(), AdvisedTreeConstruction())
+        assert set(result.outputs) == set(k5.nodes())
+        assert result.outputs[k5.source] is None
+
+    def test_last_output_wins(self, triangle):
+        from repro.core import Algorithm
+        from repro.simulator import Simulation
+
+        class TwoOutputs:
+            def on_init(self, ctx):
+                ctx.output("first")
+                ctx.output("second")
+
+            def on_receive(self, ctx, payload, port):
+                pass
+
+        trace = Simulation(triangle, {v: TwoOutputs() for v in triangle.nodes()}).run()
+        assert all(v == "second" for v in trace.outputs.values())
+
+    def test_no_output_no_entry(self, triangle):
+        from repro.simulator import Simulation
+
+        class Silent:
+            def on_init(self, ctx):
+                pass
+
+            def on_receive(self, ctx, payload, port):
+                pass
+
+        trace = Simulation(triangle, {v: Silent() for v in triangle.nodes()}).run()
+        assert trace.outputs == {}

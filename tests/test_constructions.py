@@ -1,0 +1,183 @@
+"""Tests for the lower-bound gadget families G_{n,S} and G_{n,S,C}."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network import (
+    GraphError,
+    clique_family_graph,
+    clique_node_labels,
+    clique_substitution,
+    complete_graph_star,
+    hidden_structure,
+    sample_clique_choices,
+    sample_edge_tuple,
+    subdivide_edges,
+    subdivision_family_graph,
+    subdivision_instance_count_log2,
+)
+
+
+class TestSampling:
+    def test_sample_edge_tuple_distinct(self):
+        edges = sample_edge_tuple(8, 8, random.Random(0))
+        assert len(edges) == 8
+        assert len(set(edges)) == 8
+
+    def test_sample_too_many(self):
+        with pytest.raises(GraphError):
+            sample_edge_tuple(4, 7, random.Random(0))  # K*_4 has 6 edges
+
+    def test_sample_clique_choices_valid(self):
+        for a, b in sample_clique_choices(20, 5, random.Random(1)):
+            assert 1 <= a < b <= 5
+
+    def test_clique_choices_too_small_k(self):
+        with pytest.raises(GraphError):
+            sample_clique_choices(3, 1, random.Random(0))
+
+
+class TestSubdivision:
+    def test_shape(self):
+        n = 8
+        s = sample_edge_tuple(n, n, random.Random(2))
+        g = subdivision_family_graph(n, s)
+        assert g.num_nodes == 2 * n
+        # edge count unchanged +n: each subdivision replaces 1 edge by 2
+        assert g.num_edges == n * (n - 1) // 2 + n
+        assert g.source == 1
+
+    def test_hidden_node_labels_encode_rank(self):
+        n = 6
+        s = [(1, 2), (3, 5), (2, 6)]
+        g = subdivision_family_graph(n, s)
+        hidden = hidden_structure(n, s)
+        assert set(hidden) == {7, 8, 9}
+        assert hidden[7] == (1, 2)
+        assert hidden[9] == (2, 6)
+
+    def test_ports_preserved_at_old_endpoints(self):
+        n = 6
+        base = complete_graph_star(n)
+        e = (2, 5)
+        old_port_u = base.port(2, 5)
+        old_port_v = base.port(5, 2)
+        g = subdivision_family_graph(n, [e])
+        w = n + 1
+        assert g.port(2, w) == old_port_u
+        assert g.port(5, w) == old_port_v
+
+    def test_hidden_node_port_convention(self):
+        # port 0 -> smaller-labeled endpoint, port 1 -> larger
+        n = 6
+        g = subdivision_family_graph(n, [(3, 5)])
+        w = n + 1
+        assert g.neighbor_via(w, 0) == 3
+        assert g.neighbor_via(w, 1) == 5
+        assert g.degree(w) == 2
+
+    def test_surgery_invisible_from_endpoints(self):
+        # every old node keeps exactly the same port set
+        n = 7
+        s = sample_edge_tuple(n, n, random.Random(3))
+        base = complete_graph_star(n)
+        g = subdivision_family_graph(n, s)
+        for v in range(1, n + 1):
+            assert g.ports(v) == base.ports(v)
+
+    def test_duplicate_edges_rejected(self):
+        with pytest.raises(GraphError):
+            subdivision_family_graph(6, [(1, 2), (2, 1)])
+
+    def test_label_count_mismatch(self):
+        base = complete_graph_star(5)
+        with pytest.raises(GraphError):
+            subdivide_edges(base, [(1, 2)], [10, 11])
+
+    def test_validates(self):
+        for seed in range(4):
+            n = 10
+            g = subdivision_family_graph(n, sample_edge_tuple(n, n, random.Random(seed)))
+            g.validate()
+
+    def test_instance_count_log2(self):
+        # n=4: m=6 edges, ordered 4-tuples: 6*5*4*3 = 360
+        import math
+
+        assert subdivision_instance_count_log2(4) == pytest.approx(math.log2(360))
+
+    def test_instance_count_too_many(self):
+        with pytest.raises(GraphError):
+            subdivision_instance_count_log2(2)  # 2 > 1 edge
+
+
+class TestCliqueSubstitution:
+    def test_shape(self):
+        n, k = 16, 4
+        g, s, c = clique_family_graph(n, k, random.Random(5))
+        assert g.num_nodes == 2 * n
+        g.validate()
+        # all clique nodes have degree k-1
+        for i in range(1, n // k + 1):
+            for label in clique_node_labels(n, k, i):
+                assert g.degree(label) == k - 1
+
+    def test_k_must_divide(self):
+        with pytest.raises(GraphError):
+            clique_family_graph(10, 4, random.Random(0))
+
+    def test_labels(self):
+        assert clique_node_labels(16, 4, 1) == [17, 18, 19, 20]
+        assert clique_node_labels(16, 4, 4) == [29, 30, 31, 32]
+
+    def test_boundary_wiring(self):
+        n, k = 8, 4
+        e = (2, 7)
+        base = complete_graph_star(n)
+        pu, pv = base.port(2, 7), base.port(7, 2)
+        choice = (1, 3)
+        g = clique_substitution(n, k, [e], [choice])
+        labels = clique_node_labels(n, k, 1)
+        a_node, b_node = labels[0], labels[2]
+        # u_i (smaller label 2) wires to a_i, v_i (7) wires to b_i
+        assert g.has_edge(2, a_node)
+        assert g.has_edge(7, b_node)
+        assert g.port(2, a_node) == pu
+        assert g.port(7, b_node) == pv
+        # the internal edge {a, b} is gone
+        assert not g.has_edge(a_node, b_node)
+
+    def test_boundary_ports_reuse_clique_ports(self):
+        n, k = 8, 4
+        a, b = 2, 4
+        g = clique_substitution(n, k, [(1, 5)], [(a, b)])
+        labels = clique_node_labels(n, k, 1)
+        # port at a_i towards u_i equals the rotational port it had towards b_i
+        assert g.port(labels[a - 1], 1) == (b - a - 1) % k
+        assert g.port(labels[b - 1], 5) == (a - b - 1) % k
+
+    def test_invalid_choice(self):
+        with pytest.raises(GraphError):
+            clique_substitution(8, 4, [(1, 2)], [(3, 3)])
+        with pytest.raises(GraphError):
+            clique_substitution(8, 4, [(1, 2)], [(0, 2)])
+        with pytest.raises(GraphError):
+            clique_substitution(8, 4, [(1, 2)], [(2, 5)])
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(GraphError):
+            clique_substitution(8, 4, [(1, 2), (3, 4)], [(1, 2)])
+
+    def test_duplicate_substituted_edges(self):
+        with pytest.raises(GraphError):
+            clique_substitution(8, 4, [(1, 2), (2, 1)], [(1, 2), (1, 2)])
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_random_members_validate(self, seed):
+        g, s, c = clique_family_graph(16, 4, random.Random(seed))
+        g.validate()
+        assert g.num_nodes == 32

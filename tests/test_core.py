@@ -1,0 +1,228 @@
+"""Tests for the core abstractions: oracles, schemes, task runners."""
+
+import pytest
+
+from repro.core import (
+    AdviceMap,
+    FullMapOracle,
+    FunctionalAlgorithm,
+    History,
+    NullOracle,
+    TruncatingOracle,
+    default_message_limit,
+    run_broadcast,
+    run_wakeup,
+    sends,
+)
+from repro.encoding import BitString
+from repro.oracles import SpanningTreeWakeupOracle
+from repro.simulator import WakeupViolation
+
+
+class TestAdviceMap:
+    def test_total_bits(self):
+        m = AdviceMap({0: BitString("101"), 1: BitString("1")})
+        assert m.total_bits() == 4
+        assert m.nonempty_nodes() == 2
+
+    def test_missing_nodes_get_empty(self):
+        m = AdviceMap({0: BitString("1")})
+        assert m[99] == BitString.empty()
+        assert 99 in m  # every node has (possibly empty) advice
+
+    def test_empty_strings_dropped(self):
+        m = AdviceMap({0: BitString(""), 1: BitString("1")})
+        assert m.nonempty_nodes() == 1
+        assert len(m) == 1
+
+    def test_mapping_protocol(self):
+        m = AdviceMap({0: BitString("11")})
+        assert list(iter(m)) == [0]
+        assert dict(m) == {0: BitString("11")}
+
+
+class TestTrivialOracles:
+    def test_null_oracle(self, k5):
+        assert NullOracle().size_on(k5) == 0
+        assert NullOracle().name == "NullOracle"
+
+    def test_full_map_oracle_size(self, k5):
+        oracle = FullMapOracle()
+        advice = oracle.advise(k5)
+        blob = FullMapOracle.encode_graph(k5)
+        # every node carries the same serialization
+        assert advice.total_bits() == k5.num_nodes * len(blob)
+        assert all(advice[v] == blob for v in k5.nodes())
+
+    def test_full_map_much_bigger_than_paper_oracles(self, k5):
+        assert FullMapOracle().size_on(k5) > SpanningTreeWakeupOracle().size_on(k5)
+
+
+class TestTruncatingOracle:
+    def test_zero_budget(self, k5):
+        t = TruncatingOracle(SpanningTreeWakeupOracle(), 0)
+        assert t.size_on(k5) == 0
+
+    def test_full_budget_is_identity(self, k5):
+        inner = SpanningTreeWakeupOracle()
+        full = inner.size_on(k5)
+        t = TruncatingOracle(inner, full)
+        assert t.size_on(k5) == full
+
+    def test_partial_budget(self, k5):
+        inner = SpanningTreeWakeupOracle()
+        full = inner.size_on(k5)
+        budget = full // 2
+        t = TruncatingOracle(inner, budget)
+        assert t.size_on(k5) == budget
+
+    def test_negative_budget(self):
+        with pytest.raises(ValueError):
+            TruncatingOracle(NullOracle(), -1)
+
+    def test_name_mentions_cap(self):
+        assert "cap=5" in TruncatingOracle(NullOracle(), 5).name
+
+
+class TestHistory:
+    def test_extended(self):
+        h = History(BitString("1"), True, 7, 3)
+        assert h.empty
+        h2 = h.extended("M", 1)
+        assert not h2.empty
+        assert h2.received == (("M", 1),)
+        assert h.received == ()  # immutable
+
+    def test_quadruple_fields(self):
+        h = History(BitString("01"), False, "v", 4)
+        assert (h.advice, h.is_source, h.node_id, h.degree) == (
+            BitString("01"),
+            False,
+            "v",
+            4,
+        )
+
+
+class TestFunctionalAlgorithm:
+    def _spray_function(self, advice, is_source, node_id, degree):
+        def scheme(history):
+            if history.empty and history.is_source:
+                return sends(*(("M", p) for p in range(history.degree)))
+            return []
+
+        return scheme
+
+    def test_functional_broadcast(self, triangle):
+        algo = FunctionalAlgorithm(self._spray_function, name="spray")
+        result = run_broadcast(triangle, NullOracle(), algo)
+        assert result.messages == 2
+        assert result.informed == 3
+        assert result.algorithm_name == "spray"
+
+    def test_functional_forwarding_completes(self, path4):
+        def factory(advice, is_source, node_id, degree):
+            def scheme(history):
+                if history.empty:
+                    if history.is_source:
+                        return sends(*(("M", p) for p in range(history.degree)))
+                    return []
+                # forward on first receipt only
+                if len(history.received) == 1:
+                    payload, port = history.received[0]
+                    return sends(
+                        *((payload, p) for p in range(history.degree) if p != port)
+                    )
+                return []
+
+            return scheme
+
+        algo = FunctionalAlgorithm(factory, wakeup=True)
+        result = run_wakeup(path4, NullOracle(), algo)
+        assert result.success
+        assert result.messages == 3
+
+    def test_functional_wakeup_violation(self, triangle):
+        def factory(advice, is_source, node_id, degree):
+            return lambda history: sends(("x", 0)) if history.empty else []
+
+        algo = FunctionalAlgorithm(factory)
+        with pytest.raises(WakeupViolation):
+            run_wakeup(triangle, NullOracle(), algo)
+
+
+class TestTaskRunners:
+    def test_result_fields(self, k5):
+        from repro.algorithms import Flooding
+
+        result = run_broadcast(k5, NullOracle(), Flooding())
+        assert result.task == "broadcast"
+        assert result.graph_nodes == 5
+        assert result.graph_edges == 10
+        assert result.oracle_bits == 0
+        assert result.success and result.completed
+        assert result.informed == 5
+        assert result.bits_per_node == 0
+        assert result.messages_per_node == pytest.approx(result.messages / 5)
+        assert "broadcast" in result.summary()
+
+    def test_default_message_limit_generous(self, k5):
+        from repro.algorithms import Flooding, flooding_message_count
+
+        limit = default_message_limit(k5)
+        assert limit > flooding_message_count(k5.num_nodes, k5.num_edges)
+
+    def test_precomputed_advice_reused(self, k5):
+        from repro.algorithms import TreeWakeup
+
+        oracle = SpanningTreeWakeupOracle()
+        advice = oracle.advise(k5)
+        result = run_wakeup(k5, oracle, TreeWakeup(), advice=advice)
+        assert result.oracle_bits == advice.total_bits()
+        assert result.success
+
+    def test_unfrozen_graph_accepted(self):
+        from repro.algorithms import Flooding
+        from repro.network import PortLabeledGraph
+
+        g = PortLabeledGraph()
+        g.add_node(0)
+        g.add_node(1)
+        g.add_edge(0, 1)
+        g.set_source(0)  # not frozen
+        result = run_broadcast(g, NullOracle(), Flooding())
+        assert result.success
+
+
+class TestAdviceSerialization:
+    def test_roundtrip(self, k5):
+        from repro.core import advice_from_json, advice_to_json
+
+        advice = SpanningTreeWakeupOracle().advise(k5)
+        back = advice_from_json(advice_to_json(advice))
+        assert back.total_bits() == advice.total_bits()
+        for v in k5.nodes():
+            assert back[v] == advice[v]
+
+    def test_tuple_labels(self):
+        from repro.core import advice_from_json, advice_to_json
+        from repro.encoding import BitString
+
+        advice = AdviceMap({(0, 1): BitString("101")})
+        back = advice_from_json(advice_to_json(advice))
+        assert back[(0, 1)] == BitString("101")
+
+    def test_deterministic(self, k5):
+        from repro.core import advice_to_json
+
+        advice = SpanningTreeWakeupOracle().advise(k5)
+        assert advice_to_json(advice) == advice_to_json(advice)
+
+    def test_replay_in_task(self, k5):
+        from repro.algorithms import TreeWakeup
+        from repro.core import advice_from_json, advice_to_json
+
+        oracle = SpanningTreeWakeupOracle()
+        saved = advice_to_json(oracle.advise(k5))
+        result = run_wakeup(k5, oracle, TreeWakeup(), advice=advice_from_json(saved))
+        assert result.success
+        assert result.messages == 4

@@ -1,0 +1,221 @@
+"""Tests for the counting machinery (Equations 1-7, Claim 2.1)."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.lowerbounds import (
+    broadcast_forced_messages,
+    broadcast_instances_log2,
+    broadcast_target_messages,
+    claim21_constants,
+    claim21_holds,
+    claim21_lhs_log2,
+    claim21_rhs_log2,
+    log2_binomial,
+    log2_factorial,
+    log2_sum,
+    oracle_outputs_log2,
+    oracle_outputs_log2_bound,
+    wakeup_forced_messages,
+    wakeup_instances_log2,
+    wakeup_oracle_size_threshold,
+)
+
+
+class TestLogHelpers:
+    def test_log2_factorial_small(self):
+        assert log2_factorial(0) == pytest.approx(0.0)
+        assert log2_factorial(5) == pytest.approx(math.log2(120))
+
+    def test_log2_factorial_negative(self):
+        with pytest.raises(ValueError):
+            log2_factorial(-1)
+
+    def test_log2_binomial(self):
+        assert log2_binomial(5, 2) == pytest.approx(math.log2(10))
+        assert log2_binomial(5, 0) == pytest.approx(0.0)
+        assert log2_binomial(5, 6) == float("-inf")
+        assert log2_binomial(5, -1) == float("-inf")
+
+    def test_log2_sum(self):
+        assert log2_sum([3.0, 3.0]) == pytest.approx(4.0)
+        assert log2_sum([float("-inf"), 2.0]) == pytest.approx(2.0)
+        assert log2_sum([float("-inf")]) == float("-inf")
+
+    @given(st.lists(st.floats(min_value=-50, max_value=50), min_size=1, max_size=8))
+    def test_log2_sum_exact(self, terms):
+        expected = math.log2(sum(2.0**t for t in terms))
+        assert log2_sum(terms) == pytest.approx(expected, rel=1e-9)
+
+
+class TestWakeupCounting:
+    def test_instances_exact_small(self):
+        # n=4: m=6, ordered 4-tuples: 6*5*4*3 = 360
+        assert wakeup_instances_log2(4) == pytest.approx(math.log2(360))
+
+    def test_instances_subdivided_count(self):
+        # subdividing 2 edges of K*_4: 6*5 = 30
+        assert wakeup_instances_log2(4, 2) == pytest.approx(math.log2(30))
+
+    def test_instances_too_many(self):
+        with pytest.raises(ValueError):
+            wakeup_instances_log2(3, 10)
+
+    def test_outputs_exact_tiny(self):
+        # q=1, N=2: q'=0 gives 1 function; q'=1 gives 2 strings * 2 splits=4.
+        # Q = 1*C(1,1) + 2*C(2,1) = 1 + 4 = 5
+        assert oracle_outputs_log2(1, 2) == pytest.approx(math.log2(5))
+
+    def test_outputs_zero_bits(self):
+        # only the all-empty advice function
+        assert oracle_outputs_log2(0, 10) == pytest.approx(0.0)
+
+    def test_outputs_negative(self):
+        with pytest.raises(ValueError):
+            oracle_outputs_log2(-1, 4)
+
+    def test_exact_below_closed_bound(self):
+        for q in (10, 100, 1000):
+            for nodes in (8, 64, 256):
+                exact = oracle_outputs_log2(q, nodes)
+                bound = oracle_outputs_log2_bound(q, nodes)
+                assert exact <= bound + 1e-9
+
+    def test_outputs_monotone_in_q(self):
+        values = [oracle_outputs_log2(q, 32) for q in (0, 5, 50, 500)]
+        assert values == sorted(values)
+
+    def test_large_q_fallback(self):
+        # beyond exact_limit the function switches to the dominated-sum bound
+        big = oracle_outputs_log2(10_000, 64, exact_limit=100)
+        exactish = oracle_outputs_log2(10_000, 64, exact_limit=20_000)
+        assert big >= exactish - 1e-6  # fallback is still an upper bound
+
+    def test_forced_messages_vacuous_when_oracle_huge(self):
+        assert wakeup_forced_messages(64, 10**6) == 0.0
+
+    def test_forced_messages_positive_with_no_oracle_small_n(self):
+        # with q=0, the bound is log2(P) - log2(n!) > 0 already for small n
+        assert wakeup_forced_messages(8, 0) > 0
+
+    def test_forced_monotone_decreasing_in_bits(self):
+        values = [wakeup_forced_messages(256, q) for q in (0, 100, 1000, 10000)]
+        assert values == sorted(values, reverse=True)
+
+    def test_asymptotic_threshold_shape(self):
+        # alpha=0.2 bites at n=2^14; alpha=0.6 does not (0.6 > 1/2)
+        n = 2**14
+        big_n = 2 * n
+        low = wakeup_forced_messages(n, int(0.2 * big_n * math.log2(big_n)))
+        high = wakeup_forced_messages(n, int(0.6 * big_n * math.log2(big_n)))
+        assert low > 0
+        assert high == 0.0
+        # and the normalized bound grows with n (superlinearity emerging)
+        n2 = 2**18
+        big_n2 = 2 * n2
+        low2 = wakeup_forced_messages(n2, int(0.2 * big_n2 * math.log2(big_n2)))
+        assert low2 / big_n2 > low / big_n
+
+    def test_threshold_search(self):
+        thr = wakeup_oracle_size_threshold(2**12)
+        assert thr > 0
+        # just below the threshold the bound still bites
+        assert wakeup_forced_messages(2**12, thr) > 4 * 2 * 2**12
+        assert wakeup_forced_messages(2**12, thr + 1) <= 4 * 2 * 2**12
+
+    def test_threshold_zero_when_never_bites(self):
+        assert wakeup_oracle_size_threshold(4) == 0
+
+
+class TestBroadcastCounting:
+    def test_divisibility_enforced(self):
+        with pytest.raises(ValueError):
+            broadcast_instances_log2(10, 2)  # 8 does not divide 10
+
+    def test_instances_positive(self):
+        assert broadcast_instances_log2(64, 2) > 0
+
+    def test_forced_at_paper_operating_point(self):
+        n, k = 2**16, 4
+        forced = broadcast_forced_messages(n, k, n // (2 * k))
+        assert forced >= broadcast_target_messages(n, k)
+
+    def test_forced_vacuous_with_big_oracle(self):
+        assert broadcast_forced_messages(64, 2, 10**5) == 0.0
+
+    def test_target_formula(self):
+        assert broadcast_target_messages(64, 5) == pytest.approx(32.0)
+
+
+class TestClaim21:
+    def test_holds_from_1_1(self):
+        assert claim21_constants(40, 40) == (0, 0)
+
+    def test_pointwise(self):
+        for a in (1, 3, 10, 50):
+            for b in (1, 2, 17):
+                assert claim21_holds(a, b)
+
+    def test_lhs_rhs_values(self):
+        # a=1, b=1: binom(2,1)=2 <= 6
+        assert claim21_lhs_log2(1, 1) == pytest.approx(1.0)
+        assert claim21_rhs_log2(1, 1) == pytest.approx(math.log2(6))
+
+    def test_rhs_needs_positive_b(self):
+        with pytest.raises(ValueError):
+            claim21_rhs_log2(3, 0)
+
+    @given(st.integers(min_value=1, max_value=200), st.integers(min_value=1, max_value=200))
+    def test_claim_property(self, a, b):
+        assert claim21_holds(a, b)
+
+
+class TestBruteForceOracleOutputs:
+    """Validate the Q formula against literal enumeration of advice tuples."""
+
+    @staticmethod
+    def _brute_force(q, num_nodes):
+        """Literally enumerate every distinct advice tuple of total <= q bits."""
+        from itertools import product
+
+        def splits(s, parts):
+            if parts == 1:
+                yield (s,)
+                return
+            for cut in range(len(s) + 1):
+                for rest in splits(s[cut:], parts - 1):
+                    yield (s[:cut],) + rest
+
+        tuples = set()
+        for total in range(q + 1):
+            for bits in product("01", repeat=total):
+                s = "".join(bits)
+                for t in splits(s, num_nodes):
+                    tuples.add(t)
+        return len(tuples)
+
+    @pytest.mark.parametrize("q,nodes", [(0, 1), (1, 2), (2, 2), (3, 2), (3, 3), (4, 3)])
+    def test_formula_matches_enumeration(self, q, nodes):
+        expected = sum(
+            2**qp * math.comb(qp + nodes - 1, nodes - 1) for qp in range(q + 1)
+        )
+        brute = self._brute_force(q, nodes)
+        assert brute == expected
+        assert oracle_outputs_log2(q, nodes) == pytest.approx(math.log2(expected))
+
+    def test_tuples_truly_distinct(self):
+        # independent sanity: enumerate actual advice tuples for q=2, N=2 and
+        # count distinct ones directly
+        from itertools import product
+
+        tuples = set()
+        for total in range(3):
+            for bits in product("01", repeat=total):
+                s = "".join(bits)
+                for cut in range(total + 1):
+                    tuples.add((s[:cut], s[cut:]))
+        expected = sum(2**qp * math.comb(qp + 1, 1) for qp in range(3))
+        assert len(tuples) == expected

@@ -1,0 +1,167 @@
+"""Tests for the edge-discovery problem and the Lemma 2.1 adversary."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lowerbounds import (
+    HalvingProber,
+    Instance,
+    Knowledge,
+    LexicographicProber,
+    ShuffledProber,
+    all_edges,
+    enumerate_instances,
+    lemma21_lower_bound,
+    run_adversary,
+    run_discovery,
+    sample_instances,
+)
+
+
+class TestInstance:
+    def test_make_valid(self):
+        inst = Instance.make(5, [((1, 2), 1), ((3, 4), 2)], excluded=[(1, 5)])
+        assert inst.x_size == 2
+        assert inst.label_of((1, 2)) == 1
+        assert inst.label_of((2, 1)) == 1  # canonicalized
+        assert inst.label_of((2, 3)) is None
+
+    def test_labels_must_be_1_to_x(self):
+        with pytest.raises(ValueError):
+            Instance.make(5, [((1, 2), 2)])  # missing label 1
+        with pytest.raises(ValueError):
+            Instance.make(5, [((1, 2), 1), ((3, 4), 1)])
+
+    def test_duplicate_edges(self):
+        with pytest.raises(ValueError):
+            Instance.make(5, [((1, 2), 1), ((2, 1), 2)])
+
+    def test_x_y_disjoint(self):
+        with pytest.raises(ValueError):
+            Instance.make(5, [((1, 2), 1)], excluded=[(1, 2)])
+
+
+class TestEnumeration:
+    def test_all_edges_count(self):
+        assert len(all_edges(5)) == 10
+        assert len(all_edges(6)) == 15
+
+    def test_enumerate_count(self):
+        # ordered 2-tuples of distinct edges of K*_4: 6 * 5 = 30
+        assert len(enumerate_instances(4, 2)) == 30
+
+    def test_enumerate_with_excluded(self):
+        # exclude one edge: 5 * 4 = 20
+        assert len(enumerate_instances(4, 2, excluded=[(1, 2)])) == 20
+
+    def test_enumerate_all_distinct(self):
+        fam = enumerate_instances(4, 2)
+        assert len(set(fam)) == len(fam)
+
+    def test_sample_distinct(self):
+        fam = sample_instances(6, 3, 50, random.Random(0))
+        assert len(fam) == 50
+        assert len(set(fam)) == 50
+
+
+class TestRunDiscovery:
+    def test_lex_prober_finds_everything(self):
+        inst = Instance.make(5, [((2, 3), 1), ((4, 5), 2)])
+        probes = run_discovery(LexicographicProber(), inst)
+        assert probes <= len(all_edges(5))
+
+    def test_skips_excluded(self):
+        excluded = [(1, 2), (1, 3)]
+        inst = Instance.make(5, [((1, 4), 1)], excluded=excluded)
+        knowledge_probes = run_discovery(LexicographicProber(), inst)
+        # lex order skips the two excluded edges, finds (1,4) on probe 1
+        assert knowledge_probes == 1
+
+    def test_probe_limit(self):
+        inst = Instance.make(5, [((4, 5), 1)])
+        with pytest.raises(RuntimeError):
+            run_discovery(LexicographicProber(), inst, max_probes=1)
+
+
+class TestAdversary:
+    def test_bound_certified_exhaustive(self):
+        fam = enumerate_instances(5, 2)
+        for prober in (LexicographicProber(), ShuffledProber(1), HalvingProber()):
+            res = run_adversary(prober, fam)
+            assert res.certified
+            assert res.probes >= res.lower_bound
+
+    def test_surviving_instance_consistent(self):
+        fam = enumerate_instances(4, 2)
+        res = run_adversary(LexicographicProber(), fam)
+        assert res.surviving in fam
+
+    def test_adversary_answers_replayable(self):
+        # running the same prober against the surviving instance alone must
+        # produce exactly the same probe count (the adversary never lies)
+        fam = enumerate_instances(5, 2)
+        res = run_adversary(LexicographicProber(), fam)
+        replay = run_discovery(LexicographicProber(), res.surviving)
+        assert replay == res.probes
+
+    def test_mixed_family_rejected(self):
+        a = enumerate_instances(4, 2)
+        b = enumerate_instances(5, 2)
+        with pytest.raises(ValueError):
+            run_adversary(LexicographicProber(), [a[0], b[0]])
+
+    def test_empty_family_rejected(self):
+        with pytest.raises(ValueError):
+            run_adversary(LexicographicProber(), [])
+
+    def test_lower_bound_formula(self):
+        assert lemma21_lower_bound(1024, 1) == pytest.approx(10.0)
+        assert lemma21_lower_bound(1024, 2) == pytest.approx(9.0)
+
+    def test_larger_family_forces_more(self):
+        small = sample_instances(6, 2, 20, random.Random(1))
+        res_small = run_adversary(ShuffledProber(2), small)
+        full = enumerate_instances(6, 2)
+        res_full = run_adversary(ShuffledProber(2), full)
+        assert res_full.probes >= res_small.probes
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        st.integers(min_value=4, max_value=6),
+        st.integers(min_value=1, max_value=2),
+        st.integers(min_value=0, max_value=1000),
+    )
+    def test_certified_property(self, n, x_size, seed):
+        fam = enumerate_instances(n, x_size)
+        res = run_adversary(ShuffledProber(seed), fam)
+        assert res.certified
+
+    def test_subfamily_certified(self):
+        # Lemma 2.1 holds for ANY instance subfamily, not just the full one
+        rng = random.Random(9)
+        fam = sample_instances(7, 2, 120, rng)
+        res = run_adversary(HalvingProber(), fam)
+        assert res.probes >= math.log2(120) - math.log2(2)
+
+
+class TestKnowledge:
+    def test_found_and_done(self):
+        k = Knowledge(n=5, x_size=2, excluded=frozenset())
+        assert not k.done
+        k.answers[(1, 2)] = None
+        k.answers[(1, 3)] = 1
+        assert k.found == 1
+        k.answers[(2, 3)] = 2
+        assert k.done
+
+    def test_unprobed_filters(self):
+        k = Knowledge(n=4, x_size=1, excluded=frozenset({(1, 2)}))
+        k.answers[(1, 3)] = None
+        rest = k.unprobed(all_edges(4))
+        assert (1, 2) not in rest
+        assert (1, 3) not in rest
+        assert (1, 4) in rest

@@ -1,0 +1,113 @@
+"""Tests for leader election: the 1-bit oracle, min-id flooding, and the
+anonymous-symmetric impossibility."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import AdvisedElection, MinIdElection
+from repro.core import LEADER, NullOracle, run_election
+from repro.network import (
+    complete_graph_star,
+    cycle_graph,
+    hypercube_graph,
+    random_connected_gnp,
+)
+from repro.oracles import LeaderBitOracle
+from repro.simulator import make_scheduler
+
+
+class TestLeaderBitOracle:
+    def test_size_is_one(self, zoo_graph):
+        assert LeaderBitOracle().size_on(zoo_graph) == 1
+
+    def test_default_picks_min_label(self, k5):
+        advice = LeaderBitOracle().advise(k5)
+        assert len(advice[1]) == 1  # K*_n labels start at 1
+        assert all(len(advice[v]) == 0 for v in range(2, 6))
+
+    def test_custom_picker(self, k5):
+        oracle = LeaderBitOracle(picker=lambda g: max(g.nodes()))
+        advice = oracle.advise(k5)
+        assert len(advice[5]) == 1
+
+    def test_picker_must_choose_a_node(self, k5):
+        oracle = LeaderBitOracle(picker=lambda g: "nope")
+        with pytest.raises(ValueError):
+            oracle.advise(k5)
+
+
+class TestAdvisedElection:
+    def test_one_bit_zero_messages(self, zoo_graph):
+        result = run_election(zoo_graph, LeaderBitOracle(), AdvisedElection())
+        assert result.success
+        assert result.messages == 0
+        assert result.oracle_bits == 1
+
+    def test_anonymous_still_works(self, k5):
+        # the bit carries everything; identifiers are irrelevant
+        result = run_election(k5, LeaderBitOracle(), AdvisedElection(), anonymous=True)
+        assert result.success
+
+    def test_no_oracle_means_no_leader(self, k5):
+        result = run_election(k5, NullOracle(), AdvisedElection())
+        assert not result.success
+        assert result.leaders == 0
+
+
+class TestMinIdElection:
+    def test_elects_min_label(self, zoo_graph):
+        result = run_election(zoo_graph, NullOracle(), MinIdElection())
+        assert result.success
+        expected = min(zoo_graph.nodes(), key=repr)
+        assert result.outputs[expected] == LEADER
+
+    @pytest.mark.parametrize("sched", ("sync", "fifo", "random"))
+    def test_schedulers(self, k5, sched):
+        result = run_election(
+            k5, NullOracle(), MinIdElection(), scheduler=make_scheduler(sched, 11)
+        )
+        assert result.success
+
+    def test_message_cost_grows_with_m(self):
+        sparse = run_election(cycle_graph(16), NullOracle(), MinIdElection())
+        dense = run_election(complete_graph_star(16), NullOracle(), MinIdElection())
+        assert dense.messages > sparse.messages
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        st.integers(min_value=3, max_value=14),
+        st.integers(min_value=0, max_value=10**6),
+    )
+    def test_random_graphs(self, n, seed):
+        rng = random.Random(seed)
+        g = random_connected_gnp(n, 0.5, rng, port_order="random")
+        assert run_election(g, NullOracle(), MinIdElection()).success
+
+
+class TestAnonymousImpossibility:
+    """Deterministic anonymous election fails on vertex-transitive,
+    port-symmetric networks: every node's run is identical."""
+
+    @pytest.mark.parametrize("n", (3, 4, 6, 9))
+    def test_symmetric_ring_all_or_nothing(self, n):
+        result = run_election(
+            cycle_graph(n), NullOracle(), MinIdElection(), anonymous=True
+        )
+        assert result.leaders in (0, result.graph_nodes)
+        assert not result.success
+
+    def test_symmetric_hypercube(self):
+        result = run_election(
+            hypercube_graph(3), NullOracle(), MinIdElection(), anonymous=True
+        )
+        assert not result.success
+
+    def test_one_bit_breaks_the_symmetry(self):
+        # the impossibility dissolves with a single advice bit
+        result = run_election(
+            cycle_graph(8), LeaderBitOracle(), AdvisedElection(), anonymous=True
+        )
+        assert result.success

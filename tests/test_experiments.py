@@ -1,0 +1,168 @@
+"""Tests for the E1-E8 experiment registry.
+
+Each experiment must run, produce rows, and report the paper-shaped
+findings.  Sizes are trimmed for test speed; the benchmarks run the
+defaults.
+"""
+
+import pytest
+
+from repro.analysis import (
+    EXPERIMENTS,
+    format_experiment,
+    run_experiment,
+)
+
+SMALL = (8, 16, 32)
+FAMS = ("path", "complete", "gnp_sparse")
+
+
+class TestRegistry:
+    def test_all_ids_present(self):
+        assert set(EXPERIMENTS) == {f"E{i}" for i in range(1, 15)}
+
+    def test_unknown_id(self):
+        with pytest.raises(ValueError):
+            run_experiment("E99")
+
+    def test_case_insensitive(self):
+        r = run_experiment("e3", sizes=SMALL, families=FAMS)
+        assert r.experiment == "E3"
+
+
+class TestE1:
+    def test_shapes_hold(self):
+        r = run_experiment("E1", sizes=SMALL, families=FAMS)
+        assert r.rows
+        for row in r.rows:
+            assert row["success"]
+            assert row["messages"] == row["n-1"]
+            assert row["oracle_bits"] <= row["bound_bits"]
+
+    def test_findings_mention_fit(self):
+        r = run_experiment("E1", sizes=(8, 16, 32, 64), families=("complete",))
+        assert any("best fit" in f for f in r.findings)
+
+
+class TestE2:
+    def test_all_parts_ok(self):
+        r = run_experiment("E2", gadget_sizes=(8, 16), counting_exponents=(10, 16))
+        assert all(row["ok"] for row in r.rows)
+        parts = {row["part"] for row in r.rows}
+        assert parts == {"adversary", "gadget-upper", "zero-advice", "truncation", "counting"}
+
+
+class TestE3:
+    def test_bound_holds_everywhere(self):
+        r = run_experiment("E3", sizes=SMALL, families=FAMS)
+        assert all(row["ok"] for row in r.rows)
+        assert all(row["light_tree"] <= row["4n_bound"] for row in r.rows)
+
+
+class TestE4:
+    def test_shapes_hold(self):
+        r = run_experiment("E4", sizes=SMALL, families=FAMS)
+        for row in r.rows:
+            assert row["success"]
+            assert row["messages"] <= row["2(n-1)"]
+            assert row["oracle_bits"] <= row["8n_bound"]
+            assert row["M_msgs"] == row["n"] - 1
+
+
+class TestE5:
+    def test_all_parts_ok(self):
+        r = run_experiment("E5", n=16, k=4, counting_pairs=((2**16, 4),))
+        assert all(row["ok"] for row in r.rows)
+
+
+class TestE6:
+    def test_separation_direction(self):
+        r = run_experiment("E6", sizes=(16, 32, 64, 128))
+        ratios = [row["ratio"] for row in r.rows]
+        assert ratios == sorted(ratios)
+        assert any("n log n" in f for f in r.findings)
+
+    def test_other_family(self):
+        r = run_experiment("E6", sizes=(16, 32, 64), family="gnp_sparse")
+        assert r.rows
+
+
+class TestE7:
+    def test_all_ok(self):
+        r = run_experiment(
+            "E7", n=24, families=("complete",), schedulers=("sync", "random")
+        )
+        assert all(row["wakeup_ok"] and row["bcast_ok"] for row in r.rows)
+        assert all(row["payloads"] <= 2 for row in r.rows)
+
+
+class TestE8:
+    def test_all_ok(self):
+        r = run_experiment("E8", exponents=(8, 12), subdivided_factors=(1, 2))
+        assert all(row["ok"] for row in r.rows)
+
+
+class TestFormatting:
+    def test_format_includes_findings(self):
+        r = run_experiment("E3", sizes=(8, 16), families=("path",))
+        text = format_experiment(r)
+        assert "[E3]" in text
+        assert "*" in text
+
+
+class TestE9:
+    def test_tradeoff_monotone(self):
+        r = run_experiment("E9", n=25, families=("grid",))
+        assert all(row["success"] for row in r.rows)
+        msgs = [row["messages"] for row in r.rows]
+        assert msgs == sorted(msgs, reverse=True)
+        assert msgs[-1] == r.rows[-1]["n-1"]
+
+    def test_extension_flagged(self):
+        r = run_experiment("E9", n=16, families=("complete",))
+        assert "Extension" in r.title
+
+
+class TestE10:
+    def test_gossip_shapes(self):
+        r = run_experiment("E10", sizes=(8, 16), families=("complete", "random_tree"))
+        assert all(row["tree_ok"] and row["flood_ok"] for row in r.rows)
+        assert all(row["tree_msgs"] == row["2(n-1)"] for row in r.rows)
+        assert all(row["flood_msgs"] >= row["tree_msgs"] for row in r.rows)
+
+
+class TestE11:
+    def test_construction_shapes(self):
+        r = run_experiment("E11", sizes=(8, 16), families=("complete", "grid"))
+        assert all(row["advised_ok"] and row["dfs_ok"] for row in r.rows)
+        assert all(row["advised_msgs"] == 0 for row in r.rows)
+        assert all(row["dfs_msgs"] > 0 for row in r.rows)
+
+
+class TestE12:
+    def test_election_shapes(self):
+        r = run_experiment("E12", sizes=(8, 16), families=("complete", "cycle"))
+        regular = [row for row in r.rows if row["family"] != "ring/anonymous"]
+        anon = [row for row in r.rows if row["family"] == "ring/anonymous"]
+        assert all(row["advised_ok"] and row["minid_ok"] for row in regular)
+        assert all(row["1bit_msgs"] == 0 for row in regular)
+        assert anon and all(row["minid_ok"] is False for row in anon)
+
+
+class TestE13:
+    def test_exploration_shapes(self):
+        r = run_experiment("E13", sizes=(8, 16), families=("complete", "grid"))
+        assert all(row["advised_ok"] and row["dfs_ok"] for row in r.rows)
+        assert all(row["advised_moves"] == row["2(n-1)"] for row in r.rows)
+        assert all(row["rotor_covered"] for row in r.rows)
+
+
+class TestE14:
+    def test_time_shapes(self):
+        r = run_experiment("E14", n=24, families=("cycle", "complete"))
+        assert all(row["bfs_ok"] and row["dfs_ok"] for row in r.rows)
+        assert all(row["bfs_rounds"] <= row["flood_rounds"] for row in r.rows)
+        assert all(row["dfs_rounds"] >= row["bfs_rounds"] for row in r.rows)
+        complete = next(row for row in r.rows if row["family"] == "complete")
+        assert complete["dfs_rounds"] == 23  # path-shaped DFS tree on K_n
+        assert complete["bfs_rounds"] == 1

@@ -1,0 +1,159 @@
+"""Tests for the mobile-agent substrate and the three explorers."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.agent import (
+    AdvisedTreeExplorer,
+    AgentView,
+    DFSExplorer,
+    ExplorationResult,
+    RotorRouterExplorer,
+    run_exploration,
+)
+from repro.core import NullOracle
+from repro.encoding import BitString
+from repro.network import (
+    complete_graph_star,
+    cycle_graph,
+    grid_graph,
+    path_graph,
+    random_connected_gnp,
+)
+from repro.oracles import GossipTreeOracle
+
+
+class TestRunExploration:
+    def test_invalid_start(self, k5):
+        with pytest.raises(ValueError):
+            run_exploration(k5, NullOracle(), DFSExplorer(), start="nowhere")
+
+    def test_invalid_port_choice(self, k5):
+        class Bad:
+            def choose_port(self, view):
+                return 99
+
+        with pytest.raises(ValueError):
+            run_exploration(k5, NullOracle(), Bad())
+
+    def test_immediate_halt(self, k5):
+        class Lazy:
+            def choose_port(self, view):
+                return None
+
+        result = run_exploration(k5, NullOracle(), Lazy())
+        assert result.halted
+        assert result.moves == 0
+        assert result.visited == 1
+        assert not result.success
+
+    def test_move_limit(self, k5):
+        class Spinner:
+            def choose_port(self, view):
+                return 0
+
+        result = run_exploration(k5, NullOracle(), Spinner(), max_moves=10)
+        assert not result.halted
+        assert result.moves == 10
+
+    def test_trail_recorded(self, path4):
+        result = run_exploration(path4, NullOracle(), DFSExplorer())
+        assert result.trail[0] == path4.source
+        assert set(result.trail) == set(path4.nodes())
+
+
+class TestAdvisedTreeExplorer:
+    def test_exact_tour(self, zoo_graph):
+        result = run_exploration(zoo_graph, GossipTreeOracle(), AdvisedTreeExplorer())
+        assert result.success
+        assert result.moves == 2 * (zoo_graph.num_nodes - 1)
+
+    def test_memoryless(self, k5):
+        # one explorer instance reused across runs must behave identically —
+        # it carries no state at all
+        explorer = AdvisedTreeExplorer()
+        a = run_exploration(k5, GossipTreeOracle(), explorer)
+        b = run_exploration(k5, GossipTreeOracle(), explorer)
+        assert a.trail == b.trail
+        assert a.success and b.success
+
+    def test_damaged_advice_halts_safely(self, k5):
+        result = run_exploration(k5, NullOracle(), AdvisedTreeExplorer())
+        assert result.halted  # no crash, no spin
+        assert not result.success
+
+    def test_inconsistent_entry_halts(self):
+        view = AgentView(advice=BitString(""), degree=3, entry_port=2, node_label=0)
+        assert AdvisedTreeExplorer().choose_port(view) is None
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        st.integers(min_value=3, max_value=16),
+        st.integers(min_value=0, max_value=10**6),
+    )
+    def test_random_graphs(self, n, seed):
+        rng = random.Random(seed)
+        g = random_connected_gnp(n, 0.5, rng, port_order="random")
+        result = run_exploration(g, GossipTreeOracle(), AdvisedTreeExplorer())
+        assert result.success
+        assert result.moves == 2 * (g.num_nodes - 1)
+
+
+class TestDFSExplorer:
+    def test_explores_everything(self, zoo_graph):
+        result = run_exploration(zoo_graph, NullOracle(), DFSExplorer())
+        assert result.success
+
+    def test_theta_m_moves(self):
+        g = complete_graph_star(12)
+        result = run_exploration(g, NullOracle(), DFSExplorer())
+        assert g.num_edges <= result.moves <= 4 * g.num_edges
+
+    def test_needs_labels(self, k5):
+        with pytest.raises(ValueError):
+            run_exploration(k5, NullOracle(), DFSExplorer(), anonymous=True)
+
+    def test_fresh_instance_needed_per_run(self, k5):
+        # DFSExplorer carries memory; reusing it halts immediately at the
+        # remembered start — documented behaviour, asserted here
+        explorer = DFSExplorer()
+        first = run_exploration(k5, NullOracle(), explorer)
+        second = run_exploration(k5, NullOracle(), explorer)
+        assert first.success
+        assert second.moves < first.moves
+
+
+class TestRotorRouter:
+    def test_covers_with_budget(self, zoo_graph):
+        budget = 6 * zoo_graph.num_edges
+        result = run_exploration(
+            zoo_graph, NullOracle(), RotorRouterExplorer(budget=budget)
+        )
+        assert result.visited == zoo_graph.num_nodes
+
+    def test_budget_exhausts(self):
+        g = cycle_graph(8)
+        result = run_exploration(g, NullOracle(), RotorRouterExplorer(budget=3))
+        assert result.moves == 3
+        assert result.halted  # budget exhausted => returns None
+
+    def test_negative_budget(self):
+        with pytest.raises(ValueError):
+            RotorRouterExplorer(budget=-1)
+
+    def test_needs_labels(self, k5):
+        with pytest.raises(ValueError):
+            run_exploration(k5, NullOracle(), RotorRouterExplorer(budget=5), anonymous=True)
+
+
+class TestRegimeOrdering:
+    def test_advice_beats_memory_beats_blind(self):
+        g = grid_graph(5, 5)
+        advised = run_exploration(g, GossipTreeOracle(), AdvisedTreeExplorer())
+        dfs = run_exploration(g, NullOracle(), DFSExplorer())
+        assert advised.moves <= dfs.moves
+        assert advised.oracle_bits > 0
+        assert dfs.oracle_bits == 0

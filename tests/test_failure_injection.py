@@ -1,0 +1,146 @@
+"""Failure injection: damaged advice must degrade, never crash.
+
+The theorems assume the oracle is honest; a production library cannot.
+These tests flip, truncate, extend, and replace advice bits at random and
+assert the invariants that must survive *any* advice:
+
+* no exceptions escape a run (schemes are total functions of advice);
+* wakeup legality is a property of the algorithm, not the advice — a
+  corrupted wakeup oracle must never induce a spontaneous transmission;
+* runs still terminate (quiescence or the safety limit, never a hang);
+* with the *correct* advice restored, behaviour is restored bit-for-bit.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import (
+    AdvisedTreeConstruction,
+    HybridTreeFloodWakeup,
+    SchemeB,
+    TreeGossip,
+    TreeWakeup,
+)
+from repro.core import run_broadcast, run_gossip, run_tree_construction, run_wakeup
+from repro.core.oracle import AdviceMap, Oracle
+from repro.encoding import BitString
+from repro.network import random_connected_gnp
+from repro.oracles import (
+    DepthLimitedTreeOracle,
+    GossipTreeOracle,
+    LightTreeBroadcastOracle,
+    ParentPointerOracle,
+    SpanningTreeWakeupOracle,
+)
+
+
+class CorruptingOracle(Oracle):
+    """Wrap an oracle and damage its advice with seeded randomness.
+
+    Each node's string independently suffers one of: bit flips, truncation,
+    random extension, or wholesale replacement by random bits.
+    """
+
+    def __init__(self, inner: Oracle, seed: int, severity: float = 0.5) -> None:
+        self._inner = inner
+        self._seed = seed
+        self._severity = severity
+
+    def advise(self, graph) -> AdviceMap:
+        rng = random.Random(self._seed)
+        out = {}
+        for v in sorted(graph.nodes(), key=repr):
+            bits = list(self._inner.advise(graph)[v]) if rng.random() < 0.9 else []
+            if rng.random() < self._severity:
+                mode = rng.randrange(4)
+                if mode == 0 and bits:  # flip
+                    for __ in range(rng.randrange(1, len(bits) + 1)):
+                        i = rng.randrange(len(bits))
+                        bits[i] ^= 1
+                elif mode == 1 and bits:  # truncate
+                    bits = bits[: rng.randrange(len(bits))]
+                elif mode == 2:  # extend
+                    bits = bits + [rng.randrange(2) for __ in range(rng.randrange(1, 9))]
+                else:  # replace
+                    bits = [rng.randrange(2) for __ in range(rng.randrange(0, 40))]
+            out[v] = BitString(bits)
+        return AdviceMap(out)
+
+
+def _graph(seed: int, n: int = 12):
+    return random_connected_gnp(n, 0.4, random.Random(seed), port_order="random")
+
+
+PAIRS = [
+    ("wakeup", SpanningTreeWakeupOracle(), TreeWakeup()),
+    ("wakeup", DepthLimitedTreeOracle(2), HybridTreeFloodWakeup()),
+    ("broadcast", LightTreeBroadcastOracle(), SchemeB()),
+    ("gossip", GossipTreeOracle(), TreeGossip()),
+    ("construction", ParentPointerOracle(), AdvisedTreeConstruction()),
+]
+
+
+def _run(task, graph, oracle, algorithm):
+    if task == "wakeup":
+        return run_wakeup(graph, oracle, algorithm)
+    if task == "broadcast":
+        return run_broadcast(graph, oracle, algorithm)
+    if task == "gossip":
+        return run_gossip(graph, oracle, algorithm)
+    return run_tree_construction(graph, oracle, algorithm)
+
+
+class TestCorruptionNeverCrashes:
+    @pytest.mark.parametrize("task,oracle,algorithm", PAIRS, ids=[p[0] + "-" + type(p[2]).__name__ for p in PAIRS])
+    def test_many_corruption_seeds(self, task, oracle, algorithm):
+        graph = _graph(3)
+        for seed in range(25):
+            corrupted = CorruptingOracle(oracle, seed)
+            result = _run(task, graph, corrupted, algorithm)
+            # terminated — either quiescent or at the safety limit
+            assert result.trace.completed or result.trace.message_limit_hit
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=10**6),
+        st.integers(min_value=0, max_value=10**6),
+    )
+    def test_wakeup_legality_survives_corruption(self, gseed, cseed):
+        # damaged advice must never make TreeWakeup transmit spontaneously:
+        # run_wakeup raises WakeupViolation if it does, so not raising IS the test
+        graph = _graph(gseed)
+        corrupted = CorruptingOracle(SpanningTreeWakeupOracle(), cseed)
+        result = run_wakeup(graph, corrupted, TreeWakeup())
+        assert result.trace.completed or result.trace.message_limit_hit
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_scheme_b_messages_stay_bounded_under_corruption(self, cseed):
+        # K_x only ever holds local ports, so even corrupted advice cannot
+        # make Scheme B send more than 2 messages per incident edge
+        graph = _graph(7)
+        corrupted = CorruptingOracle(LightTreeBroadcastOracle(), cseed)
+        result = run_broadcast(graph, corrupted, SchemeB())
+        assert result.messages <= 4 * graph.num_edges
+
+
+class TestRecovery:
+    @pytest.mark.parametrize("task,oracle,algorithm", PAIRS, ids=[p[0] + "-" + type(p[2]).__name__ for p in PAIRS])
+    def test_clean_advice_restores_success(self, task, oracle, algorithm):
+        graph = _graph(11)
+        # corrupt once (may or may not fail), then verify the clean pair works
+        _run(task, graph, CorruptingOracle(oracle, 5), algorithm)
+        clean = _run(task, graph, oracle, algorithm)
+        assert clean.success
+
+    def test_identical_advice_identical_run(self):
+        graph = _graph(13)
+        oracle = SpanningTreeWakeupOracle()
+        a = run_wakeup(graph, oracle, TreeWakeup())
+        b = run_wakeup(graph, oracle, TreeWakeup())
+        assert [d.receiver for d in a.trace.deliveries] == [
+            d.receiver for d in b.trace.deliveries
+        ]

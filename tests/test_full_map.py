@@ -1,0 +1,86 @@
+"""Tests for the indexed full-map oracle and full-map wakeup."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import FullMapWakeup, TreeWakeup
+from repro.algorithms.full_map_wakeup import supports
+from repro.core import NullOracle, run_wakeup
+from repro.encoding import BitString
+from repro.network import complete_graph_star, random_connected_gnp, star_graph
+from repro.oracles import (
+    IndexedFullMapOracle,
+    SpanningTreeWakeupOracle,
+    decode_indexed_map,
+)
+
+
+class TestDecodeIndexedMap:
+    def test_roundtrip(self, k5):
+        advice = IndexedFullMapOracle().advise(k5)
+        order = sorted(k5.nodes(), key=repr)
+        for i, v in enumerate(order):
+            decoded = decode_indexed_map(advice[v])
+            assert decoded is not None
+            tables, own = decoded
+            assert own == i
+            assert len(tables) == k5.num_nodes
+            for j, u in enumerate(order):
+                assert len(tables[j]) == k5.degree(u)
+                for port, neighbor_idx in enumerate(tables[j]):
+                    assert order[neighbor_idx] == k5.neighbor_via(u, port)
+
+    def test_damaged_advice(self):
+        assert decode_indexed_map(BitString("")) is None
+        assert decode_indexed_map(BitString("1")) is None
+        assert decode_indexed_map(BitString("10110101001")) is None
+
+    def test_size_much_larger_than_theorem_21(self, k5):
+        big = IndexedFullMapOracle().size_on(k5)
+        small = SpanningTreeWakeupOracle().size_on(k5)
+        assert big > 10 * small
+
+
+class TestFullMapWakeup:
+    def test_optimal_messages(self, zoo_graph):
+        if not supports(zoo_graph):
+            pytest.skip("source is not the smallest label")
+        result = run_wakeup(zoo_graph, IndexedFullMapOracle(), FullMapWakeup())
+        assert result.success
+        assert result.messages == zoo_graph.num_nodes - 1
+
+    def test_supports_contract(self):
+        assert supports(complete_graph_star(6))
+        assert not supports(star_graph(6, center_source=False))
+
+    def test_same_messages_as_theorem_21_more_bits(self):
+        g = complete_graph_star(24)
+        full = run_wakeup(g, IndexedFullMapOracle(), FullMapWakeup())
+        lean = run_wakeup(g, SpanningTreeWakeupOracle(), TreeWakeup())
+        assert full.messages == lean.messages == 23
+        assert full.oracle_bits > 20 * lean.oracle_bits
+
+    def test_no_advice_degrades(self, k5):
+        result = run_wakeup(k5, NullOracle(), FullMapWakeup())
+        assert result.completed
+        assert not result.success
+
+    def test_wrong_oracle_degrades(self, k5):
+        result = run_wakeup(k5, SpanningTreeWakeupOracle(), FullMapWakeup())
+        assert result.completed  # no crash; children lists are not a map
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        st.integers(min_value=3, max_value=14),
+        st.integers(min_value=0, max_value=10**6),
+    )
+    def test_random_graphs(self, n, seed):
+        rng = random.Random(seed)
+        g = random_connected_gnp(n, 0.5, rng, port_order="random")
+        assert supports(g)
+        result = run_wakeup(g, IndexedFullMapOracle(), FullMapWakeup())
+        assert result.success
+        assert result.messages == g.num_nodes - 1

@@ -1,0 +1,152 @@
+"""Tests for the gossip task, its oracle, and both gossip algorithms."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import FloodGossip, TreeGossip
+from repro.core import NullOracle, run_gossip
+from repro.core.gossip import GOSSIP_KIND, rumor_of
+from repro.encoding import BitString
+from repro.network import complete_graph_star, path_graph, random_connected_gnp, star_graph
+from repro.oracles import GossipTreeOracle, decode_gossip_advice
+from repro.simulator import make_scheduler
+
+
+class TestGossipAdvice:
+    def test_advice_decodes(self, zoo_graph):
+        from repro.oracles import build_spanning_tree, children_port_map
+
+        oracle = GossipTreeOracle()
+        advice = oracle.advise(zoo_graph)
+        parent = build_spanning_tree(zoo_graph, "bfs")
+        ports = children_port_map(zoo_graph, parent)
+        for v in zoo_graph.nodes():
+            children, parent_port = decode_gossip_advice(advice[v], zoo_graph.degree(v))
+            assert children == ports[v]
+            if parent[v] is None:
+                assert parent_port is None
+            else:
+                assert zoo_graph.neighbor_via(v, parent_port) == parent[v]
+
+    def test_decode_garbage(self):
+        assert decode_gossip_advice(BitString("1"), 4) == ([], None)
+        assert decode_gossip_advice(BitString("10" * 30), 4) == ([], None)
+
+    def test_decode_out_of_range(self):
+        from repro.encoding import encode_paired_list
+
+        # one child at port 9 of a degree-2 node: invalid
+        advice = encode_paired_list([1, 9, 0])
+        assert decode_gossip_advice(advice, 2) == ([], None)
+
+    def test_size_is_n_log_n_rate(self):
+        import math
+
+        sizes = []
+        for n in (64, 256, 1024):
+            g = complete_graph_star(n)
+            sizes.append(GossipTreeOracle().size_on(g) / (n * math.log2(n)))
+        # the paired code pays 2 bits per data bit on both the child and the
+        # parent port: the constant settles just below 4
+        assert all(s < 4.1 for s in sizes)
+        assert abs(sizes[-1] - 4.0) < 0.1
+
+
+class TestTreeGossip:
+    def test_exactly_2n_minus_2_messages(self, zoo_graph):
+        result = run_gossip(zoo_graph, GossipTreeOracle(), TreeGossip())
+        assert result.success
+        assert result.messages == 2 * (zoo_graph.num_nodes - 1)
+
+    def test_messages_stay_on_tree(self, k5):
+        from repro.network import edge_key
+        from repro.oracles import build_spanning_tree
+
+        result = run_gossip(k5, GossipTreeOracle(), TreeGossip())
+        parent = build_spanning_tree(k5, "bfs")
+        tree = {edge_key(c, p) for c, p in parent.items() if p is not None}
+        assert result.trace.edges_used() <= tree
+
+    @pytest.mark.parametrize("sched", ("sync", "fifo", "random"))
+    def test_schedulers(self, zoo_graph, sched):
+        result = run_gossip(
+            zoo_graph, GossipTreeOracle(), TreeGossip(), scheduler=make_scheduler(sched, 5)
+        )
+        assert result.success
+        assert result.messages == 2 * (zoo_graph.num_nodes - 1)
+
+    def test_star_from_leaf(self):
+        g = star_graph(9, center_source=False)
+        result = run_gossip(g, GossipTreeOracle(), TreeGossip())
+        assert result.success
+
+    def test_path_worst_case_depth(self):
+        g = path_graph(12)
+        result = run_gossip(g, GossipTreeOracle(), TreeGossip())
+        assert result.success
+        assert result.messages == 22
+
+    def test_no_advice_fails_gracefully(self, k5):
+        result = run_gossip(k5, NullOracle(), TreeGossip())
+        assert not result.complete
+        assert result.quiescent  # nothing to do, but no crash
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        st.integers(min_value=3, max_value=16),
+        st.integers(min_value=0, max_value=10**6),
+    )
+    def test_random_graphs(self, n, seed):
+        rng = random.Random(seed)
+        g = random_connected_gnp(n, 0.5, rng, port_order="random")
+        result = run_gossip(g, GossipTreeOracle(), TreeGossip())
+        assert result.success
+        assert result.messages == 2 * (g.num_nodes - 1)
+
+
+class TestFloodGossip:
+    def test_completes(self, zoo_graph):
+        result = run_gossip(zoo_graph, NullOracle(), FloodGossip())
+        assert result.success
+
+    def test_costs_more_than_tree(self, k5):
+        flood = run_gossip(k5, NullOracle(), FloodGossip())
+        tree = run_gossip(k5, GossipTreeOracle(), TreeGossip())
+        assert flood.messages > tree.messages
+
+    def test_superlinear_on_dense(self):
+        g = complete_graph_star(16)
+        result = run_gossip(g, NullOracle(), FloodGossip())
+        assert result.success
+        assert result.messages > 10 * g.num_nodes
+
+    @pytest.mark.parametrize("sched", ("sync", "random"))
+    def test_schedulers(self, k5, sched):
+        result = run_gossip(
+            k5, NullOracle(), FloodGossip(), scheduler=make_scheduler(sched, 7)
+        )
+        assert result.success
+
+
+class TestGossipResult:
+    def test_replay_verification_is_independent(self, k5):
+        # the verifier recomputes knowledge from the trace, so a lying
+        # algorithm (sends nothing, "claims" completion) fails verification
+        result = run_gossip(k5, NullOracle(), TreeGossip())
+        assert result.min_final_knowledge == 1  # nobody learned anything
+
+    def test_max_payload_reported(self, k5):
+        result = run_gossip(k5, GossipTreeOracle(), TreeGossip())
+        assert result.max_payload_rumors == k5.num_nodes  # the down wave
+
+    def test_rumor_of(self):
+        assert rumor_of(3) == ("rumor", 3)
+        assert rumor_of(3) != rumor_of(4)
+
+    def test_summary(self, k5):
+        result = run_gossip(k5, GossipTreeOracle(), TreeGossip())
+        assert "gossip" in result.summary()
+        assert "ok" in result.summary()

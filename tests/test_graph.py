@@ -1,0 +1,276 @@
+"""Unit and property tests for the port-labeled graph model."""
+
+import random
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network import GraphError, PortLabeledGraph, edge_key
+
+
+class TestConstruction:
+    def test_add_nodes_and_edges(self):
+        g = PortLabeledGraph()
+        g.add_node("a")
+        g.add_node("b")
+        g.add_edge("a", "b")
+        assert g.num_nodes == 2
+        assert g.num_edges == 1
+        assert g.degree("a") == 1
+
+    def test_duplicate_node(self):
+        g = PortLabeledGraph()
+        g.add_node(1)
+        with pytest.raises(GraphError):
+            g.add_node(1)
+
+    def test_duplicate_edge(self):
+        g = PortLabeledGraph()
+        g.add_node(1)
+        g.add_node(2)
+        g.add_edge(1, 2)
+        with pytest.raises(GraphError):
+            g.add_edge(2, 1)
+
+    def test_self_loop_rejected(self):
+        g = PortLabeledGraph()
+        g.add_node(1)
+        with pytest.raises(GraphError):
+            g.add_edge(1, 1)
+
+    def test_unknown_endpoint(self):
+        g = PortLabeledGraph()
+        g.add_node(1)
+        with pytest.raises(GraphError):
+            g.add_edge(1, 2)
+
+    def test_auto_port_assignment(self):
+        g = PortLabeledGraph()
+        for v in range(4):
+            g.add_node(v)
+        g.add_edge(0, 1)
+        g.add_edge(0, 2)
+        g.add_edge(0, 3)
+        assert sorted(g.ports(0)) == [0, 1, 2]
+
+    def test_explicit_ports(self):
+        g = PortLabeledGraph()
+        g.add_node("x")
+        g.add_node("y")
+        g.add_edge("x", "y", port_u=0, port_v=0)
+        assert g.port("x", "y") == 0
+        assert g.port("y", "x") == 0
+
+    def test_port_collision(self):
+        g = PortLabeledGraph()
+        for v in range(3):
+            g.add_node(v)
+        g.add_edge(0, 1, port_u=0, port_v=0)
+        with pytest.raises(GraphError):
+            g.add_edge(0, 2, port_u=0, port_v=0)
+
+    def test_negative_port(self):
+        g = PortLabeledGraph()
+        g.add_node(0)
+        g.add_node(1)
+        with pytest.raises(GraphError):
+            g.add_edge(0, 1, port_u=-1, port_v=0)
+
+    def test_remove_edge(self):
+        g = PortLabeledGraph()
+        for v in range(3):
+            g.add_node(v)
+        g.add_edge(0, 1)
+        g.add_edge(1, 2)
+        g.remove_edge(0, 1)
+        assert not g.has_edge(0, 1)
+        assert g.num_edges == 1
+
+    def test_remove_missing_edge(self):
+        g = PortLabeledGraph()
+        g.add_node(0)
+        g.add_node(1)
+        with pytest.raises(GraphError):
+            g.remove_edge(0, 1)
+
+    def test_set_port(self):
+        g = PortLabeledGraph()
+        g.add_node(0)
+        g.add_node(1)
+        g.add_edge(0, 1)
+        g.set_port(0, 1, 5)
+        assert g.port(0, 1) == 5
+        assert g.neighbor_via(0, 5) == 1
+
+
+class TestSourceAndFreeze:
+    def test_source_required_to_validate(self):
+        g = PortLabeledGraph()
+        g.add_node(0)
+        g.add_node(1)
+        g.add_edge(0, 1)
+        with pytest.raises(GraphError):
+            g.validate()
+        g.set_source(0)
+        g.validate()
+
+    def test_unknown_source(self):
+        g = PortLabeledGraph()
+        g.add_node(0)
+        with pytest.raises(GraphError):
+            g.set_source(9)
+
+    def test_frozen_blocks_mutation(self, triangle):
+        with pytest.raises(GraphError):
+            triangle.add_node(99)
+        with pytest.raises(GraphError):
+            triangle.add_edge(0, 1)
+        with pytest.raises(GraphError):
+            triangle.remove_edge(0, 1)
+
+    def test_copy_is_mutable(self, triangle):
+        c = triangle.copy()
+        assert not c.frozen
+        c.add_node(99)
+        c.add_edge(0, 99)
+        assert c.num_nodes == 4
+        assert triangle.num_nodes == 3  # original untouched
+
+    def test_validate_gap_in_ports(self):
+        g = PortLabeledGraph()
+        g.add_node(0)
+        g.add_node(1)
+        g.add_edge(0, 1, port_u=1, port_v=0)  # port 0 missing at node 0
+        g.set_source(0)
+        with pytest.raises(GraphError):
+            g.validate()
+
+    def test_validate_disconnected(self):
+        g = PortLabeledGraph()
+        for v in range(4):
+            g.add_node(v)
+        g.add_edge(0, 1)
+        g.add_edge(2, 3)
+        g.set_source(0)
+        with pytest.raises(GraphError):
+            g.validate()
+
+    def test_validate_empty(self):
+        with pytest.raises(GraphError):
+            PortLabeledGraph().validate()
+
+
+class TestQueries:
+    def test_ports_and_neighbors(self, triangle):
+        for v in triangle.nodes():
+            assert sorted(triangle.ports(v)) == [0, 1]
+            for p in triangle.ports(v):
+                u = triangle.neighbor_via(v, p)
+                assert triangle.port(v, u) == p
+
+    def test_missing_port(self, triangle):
+        with pytest.raises(GraphError):
+            triangle.neighbor_via(0, 7)
+
+    def test_missing_edge_port(self, path4):
+        with pytest.raises(GraphError):
+            path4.port(0, 3)
+
+    def test_edges_each_once(self, k5):
+        edges = list(k5.edges())
+        assert len(edges) == 10
+        assert len(set(edges)) == 10
+
+    def test_edge_weight(self):
+        g = PortLabeledGraph()
+        g.add_node(0)
+        g.add_node(1)
+        g.add_edge(0, 1, port_u=3, port_v=1)
+        assert g.edge_weight(0, 1) == 1
+        assert g.edge_weight(1, 0) == 1
+
+    def test_edge_key(self):
+        assert edge_key(2, 1) == (1, 2)
+        assert edge_key(1, 2) == (1, 2)
+        assert edge_key("b", "a") == ("a", "b")
+        # mixed types fall back to repr ordering, consistently
+        assert edge_key(1, "a") == edge_key("a", 1)
+
+
+class TestNetworkxInterop:
+    def test_roundtrip(self, zoo_graph):
+        nxg = zoo_graph.to_networkx()
+        back = PortLabeledGraph.from_networkx(nxg)
+        assert back.num_nodes == zoo_graph.num_nodes
+        assert back.num_edges == zoo_graph.num_edges
+        assert back.source == zoo_graph.source
+        for u, v in zoo_graph.edges():
+            assert back.port(u, v) == zoo_graph.port(u, v)
+            assert back.port(v, u) == zoo_graph.port(v, u)
+
+    def test_from_networkx_sorted_ports(self):
+        nxg = nx.path_graph(3)
+        g = PortLabeledGraph.from_networkx(nxg, source=0)
+        g.validate()
+        assert g.port(1, 0) == 0  # neighbor 0 sorts first
+        assert g.port(1, 2) == 1
+
+    def test_from_networkx_random_ports(self):
+        nxg = nx.complete_graph(6)
+        g = PortLabeledGraph.from_networkx(
+            nxg, source=0, port_order="random", rng=random.Random(3)
+        )
+        g.validate()
+
+    def test_random_requires_rng(self):
+        with pytest.raises(GraphError):
+            PortLabeledGraph.from_networkx(nx.path_graph(3), port_order="random")
+
+    def test_unknown_port_order(self):
+        with pytest.raises(GraphError):
+            PortLabeledGraph.from_networkx(nx.path_graph(3), port_order="bogus")
+
+    def test_default_source_is_min(self):
+        g = PortLabeledGraph.from_networkx(nx.path_graph(4))
+        assert g.source == 0
+
+
+@st.composite
+def random_connected_graphs(draw):
+    """Hypothesis strategy: a connected nx graph with 2..12 nodes."""
+    n = draw(st.integers(min_value=2, max_value=12))
+    seed = draw(st.integers(min_value=0, max_value=10**6))
+    rng = random.Random(seed)
+    g = nx.Graph()
+    g.add_nodes_from(range(n))
+    order = list(range(n))
+    rng.shuffle(order)
+    for a, b in zip(order, order[1:]):
+        g.add_edge(a, b)
+    extra = draw(st.integers(min_value=0, max_value=n * 2))
+    for __ in range(extra):
+        u, v = rng.sample(range(n), 2)
+        g.add_edge(u, v)
+    return g
+
+
+class TestModelInvariants:
+    @settings(max_examples=60)
+    @given(random_connected_graphs())
+    def test_ports_are_bijective(self, nxg):
+        g = PortLabeledGraph.from_networkx(nxg, source=0)
+        g.validate()  # includes bijectivity
+        for v in g.nodes():
+            deg = g.degree(v)
+            seen = {g.neighbor_via(v, p) for p in range(deg)}
+            assert len(seen) == deg
+
+    @settings(max_examples=60)
+    @given(random_connected_graphs())
+    def test_port_symmetry(self, nxg):
+        g = PortLabeledGraph.from_networkx(nxg, source=0)
+        for u, v in g.edges():
+            assert g.neighbor_via(u, g.port(u, v)) == v
+            assert g.neighbor_via(v, g.port(v, u)) == u

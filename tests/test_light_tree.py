@@ -1,0 +1,156 @@
+"""Tests for Claim 3.1's light spanning tree and Theorem 3.1's oracle."""
+
+import random
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.encoding import code_length, decode_weight_list
+from repro.network import (
+    PortLabeledGraph,
+    complete_graph_star,
+    random_connected_gnp,
+)
+from repro.oracles import (
+    LightTreeBroadcastOracle,
+    assign_weight_advice,
+    edge_contribution,
+    light_spanning_tree,
+    tree_contribution,
+)
+
+
+def is_spanning_tree(graph, edges):
+    g = nx.Graph()
+    g.add_nodes_from(graph.nodes())
+    g.add_edges_from(edges)
+    return g.number_of_edges() == graph.num_nodes - 1 and nx.is_connected(g)
+
+
+class TestLightSpanningTree:
+    def test_is_spanning_tree(self, zoo_graph):
+        tree = light_spanning_tree(zoo_graph)
+        assert is_spanning_tree(zoo_graph, tree)
+
+    def test_edges_exist(self, zoo_graph):
+        for u, v in light_spanning_tree(zoo_graph):
+            assert zoo_graph.has_edge(u, v)
+
+    def test_claim31_bound(self, zoo_graph):
+        tree = light_spanning_tree(zoo_graph)
+        n = zoo_graph.num_nodes
+        assert tree_contribution(zoo_graph, tree) <= 4 * n
+
+    def test_deterministic(self, k5):
+        assert light_spanning_tree(k5) == light_spanning_tree(k5)
+
+    def test_single_edge_graph(self):
+        g = PortLabeledGraph()
+        g.add_node(0)
+        g.add_node(1)
+        g.add_edge(0, 1)
+        g.set_source(0)
+        assert light_spanning_tree(g.freeze()) == {(0, 1)}
+
+    def test_adversarial_ports(self):
+        # random port permutations (high-weight tree edges possible):
+        # the bound must hold regardless of the labeling
+        for seed in range(6):
+            rng = random.Random(seed)
+            g = random_connected_gnp(20, 0.4, rng, port_order="random")
+            tree = light_spanning_tree(g)
+            assert is_spanning_tree(g, tree)
+            assert tree_contribution(g, tree) <= 4 * g.num_nodes
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.integers(min_value=4, max_value=24),
+        st.integers(min_value=0, max_value=10**6),
+    )
+    def test_claim31_property(self, n, seed):
+        rng = random.Random(seed)
+        g = random_connected_gnp(n, 0.4, rng, port_order="random")
+        tree = light_spanning_tree(g)
+        assert is_spanning_tree(g, tree)
+        assert tree_contribution(g, tree) <= 4 * g.num_nodes
+
+
+class TestContribution:
+    def test_edge_contribution_is_code_length_of_min_port(self, k5):
+        for u, v in k5.edges():
+            w = min(k5.port(u, v), k5.port(v, u))
+            assert edge_contribution(k5, u, v) == code_length(w)
+
+    def test_tree_contribution_sums(self, k5):
+        edges = list(light_spanning_tree(k5))
+        assert tree_contribution(k5, edges) == sum(
+            edge_contribution(k5, u, v) for u, v in edges
+        )
+
+
+class TestWeightAdvice:
+    def test_weights_are_local_ports(self, zoo_graph):
+        tree = light_spanning_tree(zoo_graph)
+        weights = assign_weight_advice(zoo_graph, tree)
+        for x, ws in weights.items():
+            local_ports = set(zoo_graph.ports(x))
+            for w in ws:
+                assert w in local_ports  # interpretable as the node's own port
+
+    def test_each_edge_assigned_once(self, zoo_graph):
+        tree = light_spanning_tree(zoo_graph)
+        weights = assign_weight_advice(zoo_graph, tree)
+        assert sum(len(ws) for ws in weights.values()) == len(tree)
+
+    def test_assigned_port_leads_along_tree_edge(self, zoo_graph):
+        tree = light_spanning_tree(zoo_graph)
+        weights = assign_weight_advice(zoo_graph, tree)
+        tree_set = set(tree)
+        for x, ws in weights.items():
+            for w in ws:
+                neighbor = zoo_graph.neighbor_via(x, w)
+                key = (x, neighbor) if repr(x) <= repr(neighbor) else (neighbor, x)
+                from repro.network import edge_key
+
+                assert edge_key(x, neighbor) in tree_set
+
+    def test_weights_distinct_per_node(self, zoo_graph):
+        # weights at a node are its own port numbers, hence distinct
+        weights = assign_weight_advice(zoo_graph, light_spanning_tree(zoo_graph))
+        for ws in weights.values():
+            assert len(set(ws)) == len(ws)
+
+
+class TestOracle:
+    def test_size_bound_8n(self, zoo_graph):
+        oracle = LightTreeBroadcastOracle()
+        assert oracle.size_on(zoo_graph) <= 8 * zoo_graph.num_nodes
+
+    def test_size_is_twice_contribution(self, zoo_graph):
+        oracle = LightTreeBroadcastOracle()
+        assert oracle.size_on(zoo_graph) == 2 * oracle.contribution(zoo_graph)
+
+    def test_contribution_bound(self, zoo_graph):
+        oracle = LightTreeBroadcastOracle()
+        assert oracle.contribution(zoo_graph) <= 4 * zoo_graph.num_nodes
+
+    def test_advice_decodes(self, k5):
+        oracle = LightTreeBroadcastOracle()
+        advice = oracle.advise(k5)
+        weights = assign_weight_advice(k5, light_spanning_tree(k5))
+        for x, ws in weights.items():
+            assert decode_weight_list(advice[x]) == ws
+
+    def test_linear_rate_on_complete_graphs(self):
+        sizes = []
+        for n in (32, 128, 512):
+            g = complete_graph_star(n)
+            sizes.append(LightTreeBroadcastOracle().size_on(g) / n)
+        # bits per node stays bounded (Theta(n) total)
+        assert max(sizes) <= 8
+        assert max(sizes) - min(sizes) < 1.0
+
+    def test_static_bound_helper(self):
+        assert LightTreeBroadcastOracle.size_upper_bound(100) == 800

@@ -1,0 +1,111 @@
+"""Tests for the theorem-specific codecs (children ports, weight lists)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.encoding import (
+    BitString,
+    children_ports_code_length,
+    code_length,
+    decode_children_ports,
+    decode_weight_list,
+    encode_children_ports,
+    encode_weight_list,
+    port_field_width,
+    weight_list_code_length,
+)
+
+
+class TestPortFieldWidth:
+    def test_values(self):
+        assert port_field_width(1) == 1
+        assert port_field_width(2) == 1
+        assert port_field_width(3) == 2
+        assert port_field_width(4) == 2
+        assert port_field_width(5) == 3
+        assert port_field_width(1024) == 10
+        assert port_field_width(1025) == 11
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            port_field_width(0)
+
+    @given(st.integers(min_value=2, max_value=10**6))
+    def test_ports_fit(self, n):
+        # any port number (<= n - 2) must fit in the field
+        assert (n - 2) < 2 ** port_field_width(n)
+
+
+class TestChildrenPorts:
+    def test_leaf_is_empty(self):
+        assert len(encode_children_ports([], 10)) == 0
+        assert decode_children_ports(BitString.empty()) == []
+
+    def test_roundtrip_simple(self):
+        ports = [0, 3, 7]
+        assert decode_children_ports(encode_children_ports(ports, 16)) == ports
+
+    def test_exact_length_formula(self):
+        for n in (2, 5, 16, 100, 1000):
+            for c in (1, 2, 5):
+                ports = [0] * c  # values don't affect length, only the count
+                assert len(encode_children_ports(ports, n)) == children_ports_code_length(c, n)
+
+    def test_length_is_paper_rate(self):
+        # c * ceil(log n) + O(log log n): the overhead term is 2 #2(width) + 2
+        n = 1024
+        width = port_field_width(n)
+        overhead = 2 * code_length(width) + 2
+        assert len(encode_children_ports([1, 2, 3], n)) == 3 * width + overhead
+
+    def test_negative_port_rejected(self):
+        with pytest.raises(ValueError):
+            encode_children_ports([-1], 8)
+
+    def test_decoding_needs_no_n(self):
+        # Self-delimiting: decoder recovers the width from the codeword.
+        for n in (3, 17, 300):
+            ports = [0, n - 2]
+            assert decode_children_ports(encode_children_ports(ports, n)) == ports
+
+    def test_trailing_bits_detected(self):
+        good = encode_children_ports([1], 8)
+        with pytest.raises(ValueError):
+            decode_children_ports(good + BitString("1"))
+
+    @given(st.integers(min_value=2, max_value=512), st.data())
+    def test_roundtrip_property(self, n, data):
+        ports = data.draw(
+            st.lists(st.integers(min_value=0, max_value=max(0, n - 2)), max_size=8)
+        )
+        assert decode_children_ports(encode_children_ports(ports, n)) == ports
+
+
+class TestWeightList:
+    def test_empty(self):
+        assert len(encode_weight_list([])) == 0
+        assert decode_weight_list(BitString.empty()) == []
+
+    def test_exact_theorem_length(self):
+        # Theorem 3.1: one string of length exactly 2 * sum #2(w_i).
+        weights = [0, 1, 5, 12, 100]
+        encoded = encode_weight_list(weights)
+        assert len(encoded) == 2 * sum(code_length(w) for w in weights)
+        assert len(encoded) == weight_list_code_length(weights)
+
+    def test_roundtrip_order_preserved(self):
+        weights = [3, 0, 7, 7, 1]
+        assert decode_weight_list(encode_weight_list(weights)) == weights
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            encode_weight_list([-2])
+
+    @given(st.lists(st.integers(min_value=0, max_value=2**16), max_size=16))
+    def test_roundtrip_property(self, weights):
+        assert decode_weight_list(encode_weight_list(weights)) == weights
+
+    @given(st.lists(st.integers(min_value=0, max_value=2**16), max_size=16))
+    def test_length_property(self, weights):
+        assert len(encode_weight_list(weights)) == weight_list_code_length(weights)

@@ -1,0 +1,142 @@
+"""Tests for Theorem 2.1's spanning-tree wakeup oracle."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.encoding import decode_children_ports
+from repro.network import (
+    GraphError,
+    complete_graph_star,
+    path_graph,
+    random_connected_gnp,
+    star_graph,
+)
+from repro.oracles import (
+    SpanningTreeWakeupOracle,
+    build_spanning_tree,
+    children_port_map,
+    tree_edges,
+)
+
+
+class TestBuildSpanningTree:
+    def test_bfs_covers_all(self, zoo_graph):
+        parent = build_spanning_tree(zoo_graph, "bfs")
+        assert set(parent) == set(zoo_graph.nodes())
+        assert parent[zoo_graph.source] is None
+        assert len(tree_edges(parent)) == zoo_graph.num_nodes - 1
+
+    def test_dfs_covers_all(self, zoo_graph):
+        parent = build_spanning_tree(zoo_graph, "dfs")
+        assert set(parent) == set(zoo_graph.nodes())
+        assert len(tree_edges(parent)) == zoo_graph.num_nodes - 1
+
+    def test_random_covers_all(self, zoo_graph):
+        parent = build_spanning_tree(zoo_graph, "random", random.Random(3))
+        assert set(parent) == set(zoo_graph.nodes())
+
+    def test_random_requires_rng(self, k5):
+        with pytest.raises(GraphError):
+            build_spanning_tree(k5, "random")
+
+    def test_unknown_kind(self, k5):
+        with pytest.raises(GraphError):
+            build_spanning_tree(k5, "prim")
+
+    def test_tree_edges_are_graph_edges(self, zoo_graph):
+        parent = build_spanning_tree(zoo_graph, "bfs")
+        for child, par in tree_edges(parent):
+            assert zoo_graph.has_edge(child, par)
+
+    def test_parents_form_rooted_tree(self, k5):
+        parent = build_spanning_tree(k5, "dfs")
+        # every node reaches the root by following parents
+        for v in k5.nodes():
+            steps = 0
+            cur = v
+            while parent[cur] is not None:
+                cur = parent[cur]
+                steps += 1
+                assert steps <= k5.num_nodes
+            assert cur == k5.source
+
+
+class TestChildrenPortMap:
+    def test_child_counts_sum(self, zoo_graph):
+        parent = build_spanning_tree(zoo_graph, "bfs")
+        ports = children_port_map(zoo_graph, parent)
+        assert sum(len(p) for p in ports.values()) == zoo_graph.num_nodes - 1
+
+    def test_ports_lead_to_children(self, k5):
+        parent = build_spanning_tree(k5, "bfs")
+        ports = children_port_map(k5, parent)
+        for v, plist in ports.items():
+            for p in plist:
+                child = k5.neighbor_via(v, p)
+                assert parent[child] == v
+
+
+class TestOracle:
+    def test_advice_decodes_to_children(self, zoo_graph):
+        oracle = SpanningTreeWakeupOracle()
+        advice = oracle.advise(zoo_graph)
+        parent = build_spanning_tree(zoo_graph, "bfs")
+        ports = children_port_map(zoo_graph, parent)
+        for v in zoo_graph.nodes():
+            assert decode_children_ports(advice[v]) == ports[v]
+
+    def test_predicted_size_matches(self, zoo_graph):
+        oracle = SpanningTreeWakeupOracle()
+        assert oracle.predicted_size(zoo_graph) == oracle.size_on(zoo_graph)
+
+    def test_size_within_analytic_bound(self, zoo_graph):
+        oracle = SpanningTreeWakeupOracle()
+        n = zoo_graph.num_nodes
+        assert oracle.size_on(zoo_graph) <= SpanningTreeWakeupOracle.size_upper_bound(n)
+
+    def test_size_rate_is_n_log_n(self):
+        # constant in front of n log n should approach 1 from above
+        ratios = []
+        for n in (64, 256, 1024):
+            g = complete_graph_star(n)
+            size = SpanningTreeWakeupOracle().size_on(g)
+            ratios.append(size / (n * math.log2(n)))
+        assert ratios[0] > ratios[-1]  # decreasing toward 1
+        assert ratios[-1] < 1.5
+
+    def test_star_center_gets_everything(self):
+        g = star_graph(8)  # center 0 is source, has 7 children
+        advice = SpanningTreeWakeupOracle().advise(g)
+        assert len(decode_children_ports(advice[0])) == 7
+        for leaf in range(1, 8):
+            assert len(advice[leaf]) == 0
+
+    def test_leaves_get_empty_advice(self):
+        g = path_graph(5)
+        advice = SpanningTreeWakeupOracle().advise(g)
+        assert len(advice[4]) == 0  # the far endpoint is a leaf
+
+    def test_kinds_give_different_trees_same_bound(self):
+        rng = random.Random(11)
+        g = random_connected_gnp(24, 0.3, rng)
+        sizes = {}
+        for kind in ("bfs", "dfs", "random"):
+            oracle = SpanningTreeWakeupOracle(kind, seed=5)
+            sizes[kind] = oracle.size_on(g)
+            assert sizes[kind] <= SpanningTreeWakeupOracle.size_upper_bound(g.num_nodes)
+        assert len(sizes) == 3
+
+    def test_name(self):
+        assert "dfs" in SpanningTreeWakeupOracle("dfs").name
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_size_bound_random_graphs(self, seed):
+        rng = random.Random(seed)
+        g = random_connected_gnp(14, 0.35, rng)
+        n = g.num_nodes
+        assert SpanningTreeWakeupOracle().size_on(g) <= SpanningTreeWakeupOracle.size_upper_bound(n)

@@ -1,0 +1,76 @@
+"""Focused tests for trace statistics helpers and message records."""
+
+from repro.algorithms import Flooding, SchemeB, TreeWakeup
+from repro.core import NullOracle, run_broadcast, run_wakeup
+from repro.network import complete_graph_star, path_graph
+from repro.oracles import LightTreeBroadcastOracle, SpanningTreeWakeupOracle
+from repro.simulator import InFlightMessage
+
+
+class TestTraceStatistics:
+    def test_max_edge_traversals_flooding(self):
+        # flooding on an even cycle: the two wavefronts meet and cross one
+        # edge from both sides
+        from repro.network import cycle_graph
+
+        g = cycle_graph(6)
+        trace = run_broadcast(g, NullOracle(), Flooding()).trace
+        assert trace.max_edge_traversals() == 2
+
+    def test_max_edge_traversals_tree_wakeup(self, k5):
+        trace = run_wakeup(k5, SpanningTreeWakeupOracle(), TreeWakeup()).trace
+        assert trace.max_edge_traversals() == 1  # M crosses each edge once
+
+    def test_scheme_b_edge_traversals(self, k5):
+        # per tree edge: at most one M and at most one hello
+        trace = run_broadcast(k5, LightTreeBroadcastOracle(), SchemeB()).trace
+        assert trace.max_edge_traversals() <= 2
+
+    def test_last_informed_round(self):
+        g = path_graph(4)
+        trace = run_broadcast(g, NullOracle(), Flooding()).trace
+        assert trace.last_informed_round == 3  # one hop per round down the path
+
+    def test_last_informed_round_no_deliveries(self, triangle):
+        from repro.simulator import Simulation
+
+        class Silent:
+            def on_init(self, ctx):
+                pass
+
+            def on_receive(self, ctx, payload, port):
+                pass
+
+        trace = Simulation(triangle, {v: Silent() for v in triangle.nodes()}).run()
+        # only the source is informed, at step 0 (pre-run)
+        assert trace.last_informed_round == 0
+
+    def test_edges_used_subset_of_graph_edges(self):
+        g = complete_graph_star(8)
+        trace = run_broadcast(g, NullOracle(), Flooding()).trace
+        assert trace.edges_used() <= set(g.edges())
+
+    def test_history_of_matches_received_counts(self, k5):
+        result = run_broadcast(k5, NullOracle(), Flooding())
+        total = sum(len(result.trace.history_of(v)) for v in k5.nodes())
+        assert total == len(result.trace.deliveries)
+
+
+class TestInFlightMessage:
+    def test_defaults_and_frozen(self):
+        msg = InFlightMessage(
+            payload="x",
+            sender=0,
+            receiver=1,
+            send_port=0,
+            arrival_port=2,
+            sender_informed=True,
+            seq=7,
+        )
+        assert msg.deliver_at == 0
+        try:
+            msg.seq = 8
+            raised = False
+        except AttributeError:
+            raised = True
+        assert raised, "InFlightMessage must be immutable"

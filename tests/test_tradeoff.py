@@ -1,0 +1,115 @@
+"""Tests for the knowledge/efficiency tradeoff (E9 machinery)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import Flooding, HybridTreeFloodWakeup, TreeWakeup, flooding_message_count
+from repro.core import NullOracle, run_wakeup
+from repro.network import complete_graph_star, grid_graph, path_graph, random_connected_gnp
+from repro.oracles import DepthLimitedTreeOracle, SpanningTreeWakeupOracle, bfs_depths
+
+
+class TestBfsDepths:
+    def test_path_depths(self):
+        g = path_graph(5)
+        depths = bfs_depths(g)
+        assert depths == {0: 0, 1: 1, 2: 2, 3: 3, 4: 4}
+
+    def test_complete_depths(self):
+        g = complete_graph_star(6)
+        depths = bfs_depths(g)
+        assert depths[1] == 0
+        assert all(depths[v] == 1 for v in range(2, 7))
+
+
+class TestDepthLimitedOracle:
+    def test_negative_depth(self):
+        with pytest.raises(ValueError):
+            DepthLimitedTreeOracle(-1)
+
+    def test_depth_zero_is_markers_only(self, k5):
+        oracle = DepthLimitedTreeOracle(0)
+        advice = oracle.advise(k5)
+        assert advice.total_bits() == k5.num_nodes  # one fringe bit each
+        assert oracle.advised_nodes(k5) == 0
+
+    def test_full_depth_advises_everyone(self, zoo_graph):
+        depth = max(bfs_depths(zoo_graph).values()) + 1
+        oracle = DepthLimitedTreeOracle(depth)
+        assert oracle.advised_nodes(zoo_graph) == zoo_graph.num_nodes
+
+    def test_size_monotone_in_depth(self, zoo_graph):
+        sizes = [
+            DepthLimitedTreeOracle(d).size_on(zoo_graph) for d in range(0, 6)
+        ]
+        assert sizes == sorted(sizes)
+
+    def test_marker_bit_layout(self, k5):
+        advice = DepthLimitedTreeOracle(1).advise(k5)
+        assert advice[k5.source][0] == 1  # advised
+        other = next(v for v in k5.nodes() if v != k5.source)
+        assert advice[other][0] == 0  # fringe
+
+    def test_name_mentions_depth(self):
+        assert "depth=3" in DepthLimitedTreeOracle(3).name
+
+
+class TestHybridWakeup:
+    def test_wakeup_legal(self, zoo_graph):
+        result = run_wakeup(zoo_graph, DepthLimitedTreeOracle(2), HybridTreeFloodWakeup())
+        assert result.completed  # never raises WakeupViolation
+
+    def test_completes_at_every_depth(self, zoo_graph):
+        max_depth = max(bfs_depths(zoo_graph).values()) + 1
+        for depth in range(max_depth + 1):
+            result = run_wakeup(
+                zoo_graph, DepthLimitedTreeOracle(depth), HybridTreeFloodWakeup()
+            )
+            assert result.success, f"failed at depth {depth}"
+
+    def test_depth_zero_matches_flooding(self, k5):
+        hybrid = run_wakeup(k5, DepthLimitedTreeOracle(0), HybridTreeFloodWakeup())
+        assert hybrid.messages == flooding_message_count(k5.num_nodes, k5.num_edges)
+
+    def test_full_depth_matches_tree_wakeup(self, zoo_graph):
+        depth = max(bfs_depths(zoo_graph).values()) + 1
+        hybrid = run_wakeup(
+            zoo_graph, DepthLimitedTreeOracle(depth), HybridTreeFloodWakeup()
+        )
+        tree = run_wakeup(zoo_graph, SpanningTreeWakeupOracle(), TreeWakeup())
+        assert hybrid.messages == tree.messages == zoo_graph.num_nodes - 1
+
+    def test_messages_monotone_on_grid(self):
+        g = grid_graph(6, 6)
+        max_depth = max(bfs_depths(g).values()) + 1
+        messages = [
+            run_wakeup(g, DepthLimitedTreeOracle(d), HybridTreeFloodWakeup()).messages
+            for d in range(max_depth + 1)
+        ]
+        assert messages[0] > messages[-1]
+        assert messages == sorted(messages, reverse=True)
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        st.integers(min_value=4, max_value=16),
+        st.integers(min_value=0, max_value=10**6),
+        st.integers(min_value=0, max_value=6),
+    )
+    def test_correct_on_random_graphs(self, n, seed, depth):
+        rng = random.Random(seed)
+        g = random_connected_gnp(n, 0.4, rng, port_order="random")
+        result = run_wakeup(g, DepthLimitedTreeOracle(depth), HybridTreeFloodWakeup())
+        assert result.success
+
+    def test_endpoints_bracket_all_depths(self):
+        g = grid_graph(5, 5)
+        n, m = g.num_nodes, g.num_edges
+        max_depth = max(bfs_depths(g).values()) + 1
+        for depth in range(max_depth + 1):
+            msgs = run_wakeup(
+                g, DepthLimitedTreeOracle(depth), HybridTreeFloodWakeup()
+            ).messages
+            assert n - 1 <= msgs <= flooding_message_count(n, m)
