@@ -18,6 +18,7 @@ MODULES = [
     "repro.oracles",
     "repro.algorithms",
     "repro.lowerbounds",
+    "repro.lint",
     "repro.analysis",
     "repro.agent",
     "repro.cli",

@@ -1,4 +1,16 @@
-"""Concrete broadcast/wakeup algorithms: the paper's two plus baselines."""
+"""Concrete broadcast/wakeup algorithms: the paper's two plus baselines.
+
+Besides the classes themselves, this module keeps the **algorithm
+registry**: one :class:`AlgorithmInfo` per library algorithm, recording the
+declarative model claims (``is_wakeup_algorithm``, ``anonymous_safe``) that
+the rest of the tooling cross-checks — the replay audit dynamically, and
+the static linter (:mod:`repro.lint`, rule MDL002) at the source level.
+"""
+
+from dataclasses import dataclass
+from typing import Dict, Type
+
+from ..core.scheme import Algorithm
 
 from .chatter import CHAT_MESSAGE, ChatterFlood
 from .dfs_wakeup import RETURN, TOKEN, DFSTokenWakeup, dfs_message_upper_bound
@@ -12,7 +24,59 @@ from .tree_construction import AdvisedTreeConstruction, DFSTreeConstruction
 from .tree_gossip import TreeGossip
 from .tree_wakeup import SOURCE_MESSAGE, TreeWakeup, safe_decode_children_ports
 
+@dataclass(frozen=True)
+class AlgorithmInfo:
+    """Registry entry: an algorithm class plus its declared model claims."""
+
+    name: str
+    cls: Type[Algorithm]
+    wakeup: bool
+    anonymous_safe: bool
+
+
+#: Name -> registry entry for every algorithm shipped by the library.
+ALGORITHM_REGISTRY: Dict[str, AlgorithmInfo] = {}
+
+
+def register_algorithm(cls: Type[Algorithm]) -> Type[Algorithm]:
+    """Add ``cls`` to :data:`ALGORITHM_REGISTRY` under its class name.
+
+    The declarative claims are read off the class attributes, so the class
+    body stays the single source of truth.  Usable as a decorator by
+    user-defined algorithms; returns ``cls`` unchanged.
+    """
+    ALGORITHM_REGISTRY[cls.__name__] = AlgorithmInfo(
+        name=cls.__name__,
+        cls=cls,
+        wakeup=bool(getattr(cls, "is_wakeup_algorithm", False)),
+        anonymous_safe=bool(getattr(cls, "anonymous_safe", False)),
+    )
+    return cls
+
+
+for _cls in (
+    AdvisedElection,
+    MinIdElection,
+    FullMapWakeup,
+    AdvisedTreeConstruction,
+    DFSTreeConstruction,
+    ChatterFlood,
+    FloodGossip,
+    TreeGossip,
+    HybridTreeFloodWakeup,
+    TreeWakeup,
+    SchemeB,
+    Flooding,
+    DFSTokenWakeup,
+):
+    register_algorithm(_cls)
+del _cls
+
+
 __all__ = [
+    "AlgorithmInfo",
+    "ALGORITHM_REGISTRY",
+    "register_algorithm",
     "AdvisedElection",
     "MinIdElection",
     "FullMapWakeup",

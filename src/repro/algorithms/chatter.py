@@ -51,6 +51,7 @@ class ChatterFlood(Algorithm):
     """Flooding plus spontaneous all-port chatter (broadcast only)."""
 
     is_wakeup_algorithm = False
+    anonymous_safe = True
 
     def scheme_for(
         self,

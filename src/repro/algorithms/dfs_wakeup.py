@@ -77,6 +77,7 @@ class DFSTokenWakeup(Algorithm):
     """Oracle-free DFS token traversal; a valid wakeup algorithm."""
 
     is_wakeup_algorithm = True
+    anonymous_safe = True
 
     def scheme_for(
         self,

@@ -41,6 +41,7 @@ class AdvisedElection(Algorithm):
     """Output what the (1-bit!) oracle says; send nothing."""
 
     is_wakeup_algorithm = True  # vacuously: never transmits
+    anonymous_safe = True
 
     def scheme_for(
         self,
@@ -85,6 +86,7 @@ class MinIdElection(Algorithm):
     unique ids required, ``O(n * m)`` messages."""
 
     is_wakeup_algorithm = False
+    anonymous_safe = False  # reads ctx.node_id
 
     def scheme_for(
         self,

@@ -49,6 +49,7 @@ class FloodGossip(Algorithm):
     """Announce-on-growth flooding; zero advice, ``O(n * m)`` messages."""
 
     is_wakeup_algorithm = False
+    anonymous_safe = False  # reads ctx.node_id
 
     def scheme_for(
         self,

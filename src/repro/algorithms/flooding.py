@@ -52,6 +52,7 @@ class Flooding(Algorithm):
     """Oracle-free flooding; valid for both broadcast and wakeup."""
 
     is_wakeup_algorithm = True
+    anonymous_safe = True
 
     def scheme_for(
         self,

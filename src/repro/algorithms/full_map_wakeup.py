@@ -86,6 +86,7 @@ class FullMapWakeup(Algorithm):
     """Wakeup from complete topology knowledge (source = smallest label)."""
 
     is_wakeup_algorithm = True
+    anonymous_safe = True
 
     def scheme_for(
         self,

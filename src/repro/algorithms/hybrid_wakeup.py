@@ -61,6 +61,7 @@ class HybridTreeFloodWakeup(Algorithm):
     :class:`repro.oracles.DepthLimitedTreeOracle`)."""
 
     is_wakeup_algorithm = True
+    anonymous_safe = True
 
     def scheme_for(
         self,

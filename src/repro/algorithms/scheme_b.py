@@ -100,6 +100,7 @@ class SchemeB(Algorithm):
     """The Theorem 3.1 broadcast algorithm (pair with the light-tree oracle)."""
 
     is_wakeup_algorithm = False  # it transmits spontaneously, by design
+    anonymous_safe = True
 
     def scheme_for(
         self,

@@ -39,6 +39,7 @@ class AdvisedTreeConstruction(Algorithm):
     """Output the advised parent port; send nothing."""
 
     is_wakeup_algorithm = True  # vacuously: it never transmits
+    anonymous_safe = True
 
     def scheme_for(
         self,
@@ -90,6 +91,7 @@ class DFSTreeConstruction(Algorithm):
     """Discover a DFS tree with a token; zero advice, ``Theta(m)`` messages."""
 
     is_wakeup_algorithm = True
+    anonymous_safe = True
 
     def scheme_for(
         self,

@@ -78,6 +78,7 @@ class TreeGossip(Algorithm):
     """Convergecast/broadcast gossip over the advised spanning tree."""
 
     is_wakeup_algorithm = False  # leaves start spontaneously
+    anonymous_safe = False  # reads ctx.node_id
 
     def scheme_for(
         self,

@@ -66,6 +66,7 @@ class TreeWakeup(Algorithm):
     """The Theorem 2.1 wakeup algorithm (pair with the spanning-tree oracle)."""
 
     is_wakeup_algorithm = True
+    anonymous_safe = True
 
     def scheme_for(
         self,

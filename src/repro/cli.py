@@ -16,6 +16,9 @@ Commands
     Oracle x algorithm comparison matrix on one network.
 ``list``
     List the available experiments with their titles.
+``lint [paths ...] [--format text|json] [--select ...] [--ignore ...]``
+    Static model-compliance linter (rules MDL001-MDL005) over scheme,
+    algorithm, and oracle source; exits nonzero on findings.
 """
 
 from __future__ import annotations
@@ -78,6 +81,34 @@ def _cmd_quickstart(n: int) -> int:
     return 0
 
 
+def _cmd_lint(
+    paths: List[str],
+    output_format: str,
+    select: Optional[str],
+    ignore: Optional[str],
+    list_rules: bool,
+) -> int:
+    from .lint import LintError, format_json, format_text, lint_paths, rule_catalog
+
+    if list_rules:
+        print(rule_catalog())
+        return 0
+    try:
+        findings = lint_paths(
+            paths or ["src/repro"],
+            select=select.split(",") if select else None,
+            ignore=ignore.split(",") if ignore else None,
+        )
+    except LintError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if output_format == "json":
+        print(format_json(findings))
+    else:
+        print(format_text(findings))
+    return 1 if findings else 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Parse arguments and dispatch; returns the process exit code."""
     parser = argparse.ArgumentParser(
@@ -108,6 +139,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_cmp.add_argument("--family", default="complete")
     p_cmp.add_argument("--n", type=int, default=64)
 
+    p_lint = sub.add_parser(
+        "lint", help="static model-compliance checks (MDL001-MDL005)"
+    )
+    p_lint.add_argument(
+        "paths", nargs="*", metavar="PATH", help="files or directories (default: src/repro)"
+    )
+    p_lint.add_argument("--format", choices=("text", "json"), default="text")
+    p_lint.add_argument("--select", default=None, help="comma-separated rule codes to run")
+    p_lint.add_argument("--ignore", default=None, help="comma-separated rule codes to skip")
+    p_lint.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalog and exit"
+    )
+
     args = parser.parse_args(argv)
     if args.command == "experiment":
         return _cmd_experiment(args.ids)
@@ -137,6 +181,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return 2
         print(format_comparison(graph))
         return 0
+    if args.command == "lint":
+        return _cmd_lint(args.paths, args.format, args.select, args.ignore, args.list_rules)
     parser.error(f"unknown command {args.command!r}")
     return 2
 

@@ -1,6 +1,6 @@
 """Core abstractions: oracles, schemes/algorithms, task runners, separation."""
 
-from .audit import AuditMismatch, AuditReport, replay_audit
+from .audit import AuditFailure, AuditMismatch, AuditReport, replay_audit
 from .construction import TreeConstructionResult, run_tree_construction, verify_parent_outputs
 from .election import FOLLOWER, LEADER, ElectionResult, run_election
 from .gossip import GOSSIP_KIND, GossipResult, rumor_of, run_gossip
@@ -14,6 +14,7 @@ __all__ = [
     "FOLLOWER",
     "ElectionResult",
     "run_election",
+    "AuditFailure",
     "AuditReport",
     "AuditMismatch",
     "replay_audit",

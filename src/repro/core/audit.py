@@ -28,7 +28,19 @@ from ..simulator.trace import ExecutionTrace
 from .oracle import AdviceMap
 from .scheme import Algorithm
 
-__all__ = ["AuditMismatch", "AuditReport", "replay_audit"]
+__all__ = ["AuditFailure", "AuditMismatch", "AuditReport", "replay_audit"]
+
+
+class AuditFailure(RuntimeError):
+    """Raised by ``audit=True`` runs when the replay audit finds a mismatch
+    (or when the run never reached quiescence, so no audit is meaningful).
+
+    Carries the :class:`AuditReport` (when one was produced) as ``report``.
+    """
+
+    def __init__(self, message: str, report: Optional["AuditReport"] = None) -> None:
+        super().__init__(message)
+        self.report = report
 
 
 @dataclass(frozen=True)

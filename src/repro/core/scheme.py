@@ -66,6 +66,13 @@ class Algorithm(abc.ABC):
     #: declarative — the engine enforces the constraint at run time.
     is_wakeup_algorithm: bool = False
 
+    #: Whether the schemes produced never read ``id(v)`` — i.e. the algorithm
+    #: works unchanged when the engine hands every node ``node_id=None``.
+    #: Declarative, like :attr:`is_wakeup_algorithm`; the static linter
+    #: (:mod:`repro.lint`, rule MDL002) cross-checks the claim against the
+    #: code, and benchmark E7 checks it dynamically.
+    anonymous_safe: bool = False
+
     @abc.abstractmethod
     def scheme_for(
         self,

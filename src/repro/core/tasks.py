@@ -86,6 +86,7 @@ def _run(
     wakeup: bool,
     max_messages: Optional[int],
     advice: Optional[AdviceMap],
+    audit: bool = False,
 ) -> TaskResult:
     if not graph.frozen:
         graph = graph.copy().freeze()
@@ -111,6 +112,22 @@ def _run(
         max_messages=max_messages,
     )
     trace = sim.run()
+    if audit:
+        from .audit import AuditFailure, replay_audit
+
+        if not trace.completed:
+            raise AuditFailure(
+                f"{task} run hit a safety limit before quiescence; the replay "
+                "audit is only meaningful for complete runs"
+            )
+        report = replay_audit(graph, algorithm, advice, trace, anonymous=anonymous)
+        if not report.faithful:
+            preview = "; ".join(str(m) for m in report.mismatches[:3])
+            raise AuditFailure(
+                f"{algorithm.name} failed the replay audit "
+                f"({len(report.mismatches)} mismatch(es)): {preview}",
+                report,
+            )
     informed = len(trace.informed_at)
     success = trace.completed and informed == graph.num_nodes
     return TaskResult(
@@ -137,14 +154,19 @@ def run_broadcast(
     anonymous: bool = False,
     max_messages: Optional[int] = None,
     advice: Optional[AdviceMap] = None,
+    audit: bool = False,
 ) -> TaskResult:
     """Run a broadcast: nodes may transmit spontaneously.
 
     Pass ``advice`` to reuse a precomputed :class:`AdviceMap` (e.g. when
-    sweeping schedulers over one network).
+    sweeping schedulers over one network).  With ``audit=True`` the run is
+    replay-audited after quiescence and :class:`repro.core.audit.AuditFailure`
+    is raised on any mismatch — the dynamic model check composed into one
+    call (the static half is ``python -m repro lint``).
     """
     return _run(
-        "broadcast", graph, oracle, algorithm, scheduler, anonymous, False, max_messages, advice
+        "broadcast", graph, oracle, algorithm, scheduler, anonymous, False, max_messages,
+        advice, audit,
     )
 
 
@@ -156,13 +178,17 @@ def run_wakeup(
     anonymous: bool = False,
     max_messages: Optional[int] = None,
     advice: Optional[AdviceMap] = None,
+    audit: bool = False,
 ) -> TaskResult:
     """Run a wakeup: the engine *enforces* that only awake nodes transmit.
 
     A non-source node sending on an empty history raises
     :class:`repro.simulator.WakeupViolation` — by definition such an
-    algorithm is not a wakeup algorithm.
+    algorithm is not a wakeup algorithm.  ``audit=True`` replay-audits the
+    completed run and raises :class:`repro.core.audit.AuditFailure` on
+    mismatch, as in :func:`run_broadcast`.
     """
     return _run(
-        "wakeup", graph, oracle, algorithm, scheduler, anonymous, True, max_messages, advice
+        "wakeup", graph, oracle, algorithm, scheduler, anonymous, True, max_messages,
+        advice, audit,
     )

@@ -1,0 +1,48 @@
+"""Static model-compliance linter: AST checks that schemes live inside
+the paper's model.
+
+The replay audit (:mod:`repro.core.audit`) certifies model-faithfulness
+*dynamically*, for the histories one scheduler happened to produce.  This
+package is the static half: it parses scheme, algorithm, and oracle source
+with :mod:`ast` (stdlib only, no imports of the analyzed code) and reports
+violations of the Section 1.4 model as findings with stable rule codes:
+
+========  =====================================================
+MDL001    scheme code reaches into engine or graph internals
+MDL002    anonymous-safe algorithm reads ``node_id``
+MDL003    hidden nondeterminism (wall clock, module-level RNG)
+MDL004    mutable class-level state shared across node instances
+MDL005    oracle advice built outside ``encoding.BitString``
+========  =====================================================
+
+Run it as ``python -m repro lint [paths]``; see ``docs/LINTING.md`` for the
+full catalog and the ``# repro-lint: disable=MDLnnn`` suppression syntax.
+"""
+
+from .engine import (
+    LintError,
+    ModuleModel,
+    PARSE_ERROR_CODE,
+    iter_python_files,
+    lint_file,
+    lint_paths,
+    lint_source,
+)
+from .findings import Finding, Rule, format_json, format_text
+from .rules import RULES, rule_catalog
+
+__all__ = [
+    "Finding",
+    "Rule",
+    "RULES",
+    "rule_catalog",
+    "LintError",
+    "ModuleModel",
+    "PARSE_ERROR_CODE",
+    "iter_python_files",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "format_text",
+    "format_json",
+]

@@ -1,0 +1,331 @@
+"""The lint engine: parse files, build a module model, run the rules.
+
+The engine is deliberately static: it never imports the code under
+analysis.  The only runtime information it consults is the *algorithm
+registry* (``repro.algorithms.ALGORITHM_REGISTRY``) — a name -> claims
+mapping used by rule MDL002 to know which library algorithms promise to be
+anonymous-safe; files outside the library can make the same promise with a
+literal ``anonymous_safe = True`` in the class body, which is read off the
+AST.
+
+Suppressions
+------------
+``# repro-lint: disable=MDL003`` on the offending line silences the named
+code(s) (comma-separated, or ``all``) on that line only.  The same pragma
+on a comment-only line silences the code(s) for the whole file.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
+
+from .findings import Finding
+
+__all__ = [
+    "LintError",
+    "ModuleModel",
+    "iter_python_files",
+    "lint_source",
+    "lint_file",
+    "lint_paths",
+]
+
+#: Parse failures are reported under this pseudo-code so a syntactically
+#: broken scheme cannot slip through as "no findings".
+PARSE_ERROR_CODE = "MDL000"
+
+_PRAGMA = re.compile(r"#\s*repro-lint:\s*disable=([A-Za-z0-9_,\s]+)")
+
+
+class LintError(Exception):
+    """Usage-level failure: a path that does not exist or is not Python."""
+
+
+# ----------------------------------------------------------------------
+# Suppression pragmas
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class Suppressions:
+    """Per-line and file-wide ``repro-lint: disable`` pragmas."""
+
+    by_line: Dict[int, Set[str]] = field(default_factory=dict)
+    file_wide: Set[str] = field(default_factory=set)
+
+    def active(self, code: str, line: int) -> bool:
+        """True when ``code`` is suppressed at ``line``."""
+        for scope in (self.file_wide, self.by_line.get(line, ())):
+            if "ALL" in scope or code.upper() in scope:
+                return True
+        return False
+
+
+def _collect_suppressions(source: str) -> Suppressions:
+    out = Suppressions()
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _PRAGMA.search(text)
+        if not match:
+            continue
+        codes = {c.strip().upper() for c in match.group(1).split(",") if c.strip()}
+        if text.lstrip().startswith("#"):
+            out.file_wide |= codes
+        else:
+            out.by_line.setdefault(lineno, set()).update(codes)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Module model
+# ----------------------------------------------------------------------
+
+
+def _methods(cls: ast.ClassDef) -> Dict[str, ast.FunctionDef]:
+    return {
+        item.name: item
+        for item in cls.body
+        if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+
+
+def _base_names(cls: ast.ClassDef) -> Set[str]:
+    names: Set[str] = set()
+    for base in cls.bases:
+        if isinstance(base, ast.Name):
+            names.add(base.id)
+        elif isinstance(base, ast.Attribute):
+            names.add(base.attr)
+    return names
+
+
+def _literal_claim(cls: ast.ClassDef, attribute: str) -> Optional[bool]:
+    """The boolean literal assigned to ``attribute`` in the class body, if any."""
+    for item in cls.body:
+        targets: List[ast.expr] = []
+        value: Optional[ast.expr] = None
+        if isinstance(item, ast.Assign):
+            targets, value = item.targets, item.value
+        elif isinstance(item, ast.AnnAssign) and item.value is not None:
+            targets, value = [item.target], item.value
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == attribute:
+                if isinstance(value, ast.Constant) and isinstance(value.value, bool):
+                    return value.value
+    return None
+
+
+class ModuleModel:
+    """Everything the rules need to know about one parsed module."""
+
+    def __init__(
+        self,
+        path: str,
+        source: str,
+        tree: ast.Module,
+        registry: Mapping[str, bool],
+    ) -> None:
+        self.path = path
+        self.source_lines = source.splitlines()
+        self.tree = tree
+        self.registry = registry
+        self.suppressions = _collect_suppressions(source)
+
+        self.classes: List[ast.ClassDef] = [
+            node for node in ast.walk(tree) if isinstance(node, ast.ClassDef)
+        ]
+        #: Classes that *are* schemes: they define ``on_init``/``on_receive``.
+        self.scheme_classes: List[ast.ClassDef] = [
+            cls
+            for cls in self.classes
+            if {"on_init", "on_receive"} & set(_methods(cls))
+        ]
+        #: Classes that *produce* schemes: an Algorithm subclass or anything
+        #: with a ``scheme_for`` method.
+        self.algorithm_classes: List[ast.ClassDef] = [
+            cls
+            for cls in self.classes
+            if "scheme_for" in _methods(cls)
+            or any(name.endswith("Algorithm") for name in _base_names(cls))
+        ]
+        #: Classes that hand out advice: an Oracle subclass or anything with
+        #: an ``advise`` method.
+        self.oracle_classes: List[ast.ClassDef] = [
+            cls
+            for cls in self.classes
+            if "advise" in _methods(cls)
+            or any(name.endswith("Oracle") for name in _base_names(cls))
+        ]
+        self._class_by_name: Dict[str, ast.ClassDef] = {
+            cls.name: cls for cls in self.classes
+        }
+
+    # -- derived facts -------------------------------------------------
+
+    @property
+    def defines_model_code(self) -> bool:
+        """True when the file holds schemes, algorithms, or oracles."""
+        return bool(self.scheme_classes or self.algorithm_classes or self.oracle_classes)
+
+    def class_named(self, name: str) -> Optional[ast.ClassDef]:
+        return self._class_by_name.get(name)
+
+    def claims_anonymous_safe(self, cls: ast.ClassDef) -> bool:
+        """An in-body ``anonymous_safe = True`` literal wins; otherwise the
+        algorithm registry is consulted under the class name."""
+        literal = _literal_claim(cls, "anonymous_safe")
+        if literal is not None:
+            return literal
+        return bool(self.registry.get(cls.name, False))
+
+    def scheme_classes_of(self, algorithm: ast.ClassDef) -> List[ast.ClassDef]:
+        """Scheme classes this algorithm's ``scheme_for`` returns, resolved
+        by name within the module (``return SomeScheme(...)``)."""
+        factory = _methods(algorithm).get("scheme_for")
+        if factory is None:
+            return []
+        out: List[ast.ClassDef] = []
+        for node in ast.walk(factory):
+            if not isinstance(node, ast.Return) or node.value is None:
+                continue
+            target = node.value
+            if isinstance(target, ast.Call):
+                target = target.func
+            if isinstance(target, ast.Name):
+                resolved = self.class_named(target.id)
+                if resolved is not None and resolved not in out:
+                    out.append(resolved)
+        return out
+
+    # -- finding helper ------------------------------------------------
+
+    def finding(self, code: str, node: ast.AST, message: str) -> Finding:
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        snippet = ""
+        if 1 <= line <= len(self.source_lines):
+            snippet = self.source_lines[line - 1].strip()
+        return Finding(
+            path=self.path, line=line, col=col, code=code, message=message, snippet=snippet
+        )
+
+
+# ----------------------------------------------------------------------
+# Driving the rules over files
+# ----------------------------------------------------------------------
+
+
+def _default_registry() -> Dict[str, bool]:
+    """Anonymity claims of the shipped algorithms, if importable."""
+    try:
+        from ..algorithms import ALGORITHM_REGISTRY
+    except Exception:  # pragma: no cover - only on broken installs
+        return {}
+    return {name: info.anonymous_safe for name, info in ALGORITHM_REGISTRY.items()}
+
+
+def iter_python_files(paths: Sequence[str]) -> Iterator[str]:
+    """Expand files and directories into a sorted stream of ``.py`` files."""
+    seen: Set[str] = set()
+    for path in paths:
+        if os.path.isfile(path):
+            if path not in seen:
+                seen.add(path)
+                yield path
+        elif os.path.isdir(path):
+            for root, dirs, files in os.walk(path):
+                dirs[:] = sorted(
+                    d for d in dirs if d not in {"__pycache__", ".git"} and not d.endswith(".egg-info")
+                )
+                for name in sorted(files):
+                    if name.endswith(".py"):
+                        full = os.path.join(root, name)
+                        if full not in seen:
+                            seen.add(full)
+                            yield full
+        else:
+            raise LintError(f"no such file or directory: {path!r}")
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    rules: Optional[Sequence] = None,
+    registry: Optional[Mapping[str, bool]] = None,
+) -> List[Finding]:
+    """Lint one source text; the workhorse behind :func:`lint_file`."""
+    from .rules import RULES
+
+    active_rules = RULES if rules is None else rules
+    reg = _default_registry() if registry is None else registry
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                path=path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+                code=PARSE_ERROR_CODE,
+                message=f"could not parse: {exc.msg}",
+                snippet=(exc.text or "").strip(),
+            )
+        ]
+    model = ModuleModel(path, source, tree, reg)
+    findings: List[Finding] = []
+    for rule in active_rules:
+        for finding in rule.check(model):
+            if not model.suppressions.active(finding.code, finding.line):
+                findings.append(finding)
+    return sorted(findings)
+
+
+def lint_file(
+    path: str,
+    rules: Optional[Sequence] = None,
+    registry: Optional[Mapping[str, bool]] = None,
+) -> List[Finding]:
+    """Lint one file from disk."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+    except OSError as exc:
+        raise LintError(f"cannot read {path!r}: {exc}") from exc
+    return lint_source(source, path=path, rules=rules, registry=registry)
+
+
+def _select_rules(
+    select: Optional[Iterable[str]], ignore: Optional[Iterable[str]]
+) -> Tuple:
+    from .rules import RULES
+
+    known = {rule.code for rule in RULES}
+    chosen = list(RULES)
+    for option, codes in (("select", select), ("ignore", ignore)):
+        unknown = {c.upper() for c in codes or ()} - known
+        if unknown:
+            raise LintError(f"--{option}: unknown rule code(s) {sorted(unknown)}")
+    if select:
+        wanted = {c.upper() for c in select}
+        chosen = [rule for rule in chosen if rule.code in wanted]
+    if ignore:
+        dropped = {c.upper() for c in ignore}
+        chosen = [rule for rule in chosen if rule.code not in dropped]
+    return tuple(chosen)
+
+
+def lint_paths(
+    paths: Sequence[str],
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+    registry: Optional[Mapping[str, bool]] = None,
+) -> List[Finding]:
+    """Lint every ``.py`` file under ``paths``; the CLI entry point."""
+    rules = _select_rules(select, ignore)
+    findings: List[Finding] = []
+    for path in iter_python_files(paths):
+        findings.extend(lint_file(path, rules=rules, registry=registry))
+    return sorted(findings)

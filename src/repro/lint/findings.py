@@ -1,0 +1,74 @@
+"""Finding and rule records for the model-compliance linter.
+
+A :class:`Finding` is one rule violation at one source location; findings
+are ordered (path, line, column, code) so reports are stable across runs.
+:class:`Rule` couples a code (``MDL001`` ... ``MDL005``) with the callable
+that scans one parsed module.  The rule catalog itself lives in
+:mod:`repro.lint.rules`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Iterable, List, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
+    from .engine import ModuleModel
+
+__all__ = ["Finding", "Rule", "format_text", "format_json"]
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One violation: where it is, which rule fired, and what it saw."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str = field(compare=False)
+    snippet: str = field(default="", compare=False)
+
+    def __str__(self) -> str:
+        location = f"{self.path}:{self.line}:{self.col + 1}"
+        text = f"{location}: {self.code} {self.message}"
+        if self.snippet:
+            text += f"\n    {self.snippet}"
+        return text
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A lint rule: a stable code, a short name, and a module checker."""
+
+    code: str
+    name: str
+    summary: str
+    check: Callable[["ModuleModel"], Iterable[Finding]]
+
+
+def format_text(findings: Sequence[Finding]) -> str:
+    """Human-readable report: one finding per block plus a tally line."""
+    lines: List[str] = [str(f) for f in findings]
+    n = len(findings)
+    lines.append(f"{n} finding{'s' if n != 1 else ''}")
+    return "\n".join(lines)
+
+
+def format_json(findings: Sequence[Finding]) -> str:
+    """Machine-readable report: a JSON array of finding objects."""
+    return json.dumps(
+        [
+            {
+                "path": f.path,
+                "line": f.line,
+                "col": f.col,
+                "code": f.code,
+                "message": f.message,
+                "snippet": f.snippet,
+            }
+            for f in findings
+        ],
+        indent=2,
+    )

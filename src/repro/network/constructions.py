@@ -31,9 +31,9 @@ ports use the rotational labeling ``(b - a - 1) mod k`` (a bijection onto
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from .builders import complete_graph_star
+from .builders import complete_graph_star, resolve_rng
 from .graph import Edge, GraphError, PortLabeledGraph, edge_key
 
 __all__ = [
@@ -48,12 +48,19 @@ __all__ = [
 ]
 
 
-def sample_edge_tuple(n: int, count: int, rng: random.Random) -> List[Edge]:
+def sample_edge_tuple(
+    n: int,
+    count: int,
+    rng: Optional[random.Random] = None,
+    seed: Optional[int] = None,
+) -> List[Edge]:
     """Sample ``count`` distinct edges of ``K*_n``, uniformly, in order.
 
     The *order* matters: in ``G_{n,S}`` the label of the hidden node on the
-    ``i``-th edge is ``n + i``, so a tuple, not a set, is sampled.
+    ``i``-th edge is ``n + i``, so a tuple, not a set, is sampled.  Pass an
+    explicit ``rng`` or a ``seed``; the module-level RNG is never used.
     """
+    rng = resolve_rng(rng, seed)
     all_edges = [(i, j) for i in range(1, n + 1) for j in range(i + 1, n + 1)]
     if count > len(all_edges):
         raise GraphError(f"cannot pick {count} distinct edges from K*_{n}")
@@ -102,10 +109,16 @@ def clique_node_labels(n: int, k: int, index: int) -> List[int]:
     return [base + a for a in range(1, k + 1)]
 
 
-def sample_clique_choices(count: int, k: int, rng: random.Random) -> List[Tuple[int, int]]:
+def sample_clique_choices(
+    count: int,
+    k: int,
+    rng: Optional[random.Random] = None,
+    seed: Optional[int] = None,
+) -> List[Tuple[int, int]]:
     """Sample ``C``: one internal edge ``(a_i, b_i)``, ``a_i < b_i``, per clique."""
     if k < 2:
         raise GraphError("cliques need k >= 2")
+    rng = resolve_rng(rng, seed)
     choices: List[Tuple[int, int]] = []
     for __ in range(count):
         a = rng.randrange(1, k)
@@ -164,11 +177,15 @@ def clique_substitution(
 
 
 def clique_family_graph(
-    n: int, k: int, rng: random.Random
+    n: int,
+    k: int,
+    rng: Optional[random.Random] = None,
+    seed: Optional[int] = None,
 ) -> Tuple[PortLabeledGraph, List[Edge], List[Tuple[int, int]]]:
     """Sample a random member of ``G_{n,k}``; returns ``(graph, S, C)``."""
     if n % k != 0:
         raise GraphError("k must divide n")
+    rng = resolve_rng(rng, seed)
     count = n // k
     edge_tuple = sample_edge_tuple(n, count, rng)
     choices = sample_clique_choices(count, k, rng)

@@ -1,0 +1,7 @@
+"""Known-bad schemes and oracles: each module violates exactly one of the
+model-compliance rules (MDL001 — MDL005) and exists to prove the linter —
+and, where the violation is dynamic, the replay audit — catches it.
+
+These are *negative* fixtures: never use them as examples of how to write
+an algorithm.
+"""

@@ -1,0 +1,37 @@
+"""MDL002 fixture: claims ``anonymous_safe`` but its scheme reads ``id(v)``.
+
+The class-body literal ``anonymous_safe = True`` is the same declarative
+claim the library algorithms make; here the returned scheme nevertheless
+keys its behaviour on ``ctx.node_id``, which is ``None`` in anonymous runs.
+"""
+
+from repro.core.scheme import Algorithm
+from repro.simulator.node import NodeContext
+
+
+class _IdReadingScheme:
+    def __init__(self) -> None:
+        self._woken = False
+
+    def on_init(self, ctx: NodeContext) -> None:
+        if ctx.is_source:
+            self._woken = True
+            # VIOLATION: an anonymous-safe scheme may not read node_id.
+            for port in range(ctx.degree):
+                ctx.send(("wake", ctx.node_id), port)
+
+    def on_receive(self, ctx: NodeContext, payload, port: int) -> None:
+        if not self._woken:
+            self._woken = True
+            for p in range(ctx.degree):
+                if p != port:
+                    ctx.send(("wake", ctx.node_id), p)
+
+
+class FalselyAnonymous(Algorithm):
+    """Registered anonymous-safe, but id-dependent."""
+
+    anonymous_safe = True
+
+    def scheme_for(self, advice, is_source, node_id, degree):
+        return _IdReadingScheme()

@@ -1,0 +1,34 @@
+"""MDL001 fixture: a scheme that reaches into engine and graph internals.
+
+It reads the engine-private ``ctx._outbox``, calls the engine-only
+``ctx.drain()``, and names :class:`PortLabeledGraph` inside a scheme method
+— three distinct global-knowledge leaks, all on the same class.
+"""
+
+from repro.core.scheme import Algorithm
+from repro.network.graph import PortLabeledGraph
+from repro.simulator.node import NodeContext
+
+
+class _PeekingScheme:
+    def on_init(self, ctx: NodeContext) -> None:
+        if ctx.is_source:
+            ctx.send("M", 0)
+        # VIOLATION: peeking at the engine's private outbox.
+        pending = len(ctx._outbox)
+        if pending:
+            ctx.send(("peeked", pending), 0)
+
+    def on_receive(self, ctx: NodeContext, payload, port: int) -> None:
+        # VIOLATION: draining the outbox is the engine's job.
+        ctx.drain()
+        # VIOLATION: a node has no business holding the global network type.
+        probe = PortLabeledGraph()
+        del probe
+
+
+class EnginePeeking(Algorithm):
+    """Deliberately leaks engine internals into scheme decisions."""
+
+    def scheme_for(self, advice, is_source, node_id, degree):
+        return _PeekingScheme()

@@ -1,0 +1,41 @@
+"""MDL004 fixture: scheme instances share a class-level mutable log.
+
+Every node appends to the *same* class-level list and stamps its sends with
+the list's length, so one node's messages depend on how many events other
+nodes have processed — global knowledge by the back door.  The replay audit
+sees the counter keep growing across replays; the linter sees the
+class-level mutable.
+"""
+
+from repro.core.scheme import Algorithm
+from repro.simulator.node import NodeContext
+
+
+class _SharedLogScheme:
+    # VIOLATION: class-level mutable, shared by every node's instance.
+    shared_log = []
+
+    def __init__(self) -> None:
+        self._woken = False
+
+    def on_init(self, ctx: NodeContext) -> None:
+        self.shared_log.append("init")
+        if ctx.is_source:
+            self._woken = True
+            for port in range(ctx.degree):
+                ctx.send(("wake", len(self.shared_log)), port)
+
+    def on_receive(self, ctx: NodeContext, payload, port: int) -> None:
+        self.shared_log.append("recv")
+        if not self._woken:
+            self._woken = True
+            for p in range(ctx.degree):
+                if p != port:
+                    ctx.send(("wake", len(self.shared_log)), p)
+
+
+class SharedStateFlood(Algorithm):
+    """Flooding, except payloads leak a globally shared counter."""
+
+    def scheme_for(self, advice, is_source, node_id, degree):
+        return _SharedLogScheme()

@@ -1,0 +1,25 @@
+"""MDL005 fixture: an oracle that hands out advice as raw literals.
+
+Raw strings dodge the :class:`repro.encoding.BitString` length accounting
+that defines oracle ``size(G)`` — the paper's central quantity — so the
+linter must refuse them, whether smuggled through an ``AdviceMap`` or
+returned as a bare dict.
+"""
+
+from repro.core.oracle import AdviceMap, Oracle
+
+
+class RawStringOracle(Oracle):
+    """Gives every node the string "101" without a BitString in sight."""
+
+    def advise(self, graph):
+        # VIOLATION: raw-literal advice values dodge the bit accounting.
+        return AdviceMap({v: "101" for v in graph.nodes()})
+
+
+class BareDictOracle(Oracle):
+    """Skips AdviceMap entirely."""
+
+    def advise(self, graph):
+        # VIOLATION: a plain dict is never size-accounted.
+        return {v: "1" for v in graph.nodes()}

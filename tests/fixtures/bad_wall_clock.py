@@ -1,0 +1,37 @@
+"""MDL003 fixture: a scheme whose messages depend on the wall clock.
+
+Payloads carry ``time.time_ns()``, so two replays of the *same* history
+emit different sends — outside the model, and exactly what both the replay
+audit and the static linter must flag.
+"""
+
+import time
+
+from repro.core.scheme import Algorithm
+from repro.simulator.node import NodeContext
+
+
+class _ClockScheme:
+    def __init__(self) -> None:
+        self._woken = False
+
+    def on_init(self, ctx: NodeContext) -> None:
+        if ctx.is_source:
+            self._woken = True
+            for port in range(ctx.degree):
+                # VIOLATION: the payload depends on when the scheme ran.
+                ctx.send(("tick", time.time_ns()), port)
+
+    def on_receive(self, ctx: NodeContext, payload, port: int) -> None:
+        if not self._woken:
+            self._woken = True
+            for p in range(ctx.degree):
+                if p != port:
+                    ctx.send(("tick", time.time_ns()), p)
+
+
+class WallClockFlood(Algorithm):
+    """Flooding, except every payload reads the wall clock."""
+
+    def scheme_for(self, advice, is_source, node_id, degree):
+        return _ClockScheme()

@@ -1,8 +1,12 @@
 """Tests for the model-faithfulness replay audit."""
 
+import os
 import random
 
 import pytest
+
+from fixtures.bad_mutable_state import SharedStateFlood
+from fixtures.bad_wall_clock import WallClockFlood
 
 from repro.algorithms import (
     DFSTokenWakeup,
@@ -10,8 +14,9 @@ from repro.algorithms import (
     SchemeB,
     TreeWakeup,
 )
-from repro.core import NullOracle, run_broadcast, run_wakeup
+from repro.core import AuditFailure, NullOracle, run_broadcast, run_wakeup
 from repro.core.audit import replay_audit
+from repro.lint import lint_file
 from repro.core.scheme import Algorithm
 from repro.encoding import BitString
 from repro.network import random_connected_gnp
@@ -93,3 +98,64 @@ class TestAuditCatchesViolations:
         result = run_broadcast(graph, oracle, SchemeB(), advice=advice)
         report = replay_audit(graph, Flooding(), advice, result.trace)
         assert not report.faithful
+
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures")
+
+
+class TestDynamicAndStaticChecksCompose:
+    """The same cheating schemes must be caught twice over: by the replay
+    audit (dynamic) and by the model-compliance linter (static)."""
+
+    def _audit(self, algorithm):
+        graph = _graph(7)
+        advice = NullOracle().advise(graph)
+        result = run_broadcast(graph, NullOracle(), algorithm, advice=advice)
+        return replay_audit(graph, algorithm, advice, result.trace)
+
+    def test_wall_clock_scheme_fails_audit(self):
+        report = self._audit(WallClockFlood())
+        assert not report.faithful
+
+    def test_wall_clock_scheme_fails_linter(self):
+        findings = lint_file(os.path.join(FIXTURES, "bad_wall_clock.py"))
+        assert {f.code for f in findings} == {"MDL003"}
+
+    def test_stateful_scheme_fails_audit(self):
+        report = self._audit(SharedStateFlood())
+        assert not report.faithful
+
+    def test_stateful_scheme_fails_linter(self):
+        findings = lint_file(os.path.join(FIXTURES, "bad_mutable_state.py"))
+        assert {f.code for f in findings} == {"MDL004"}
+
+
+class TestAuditFlagOnRunners:
+    """``audit=True`` composes the run and the replay audit in one call."""
+
+    def test_faithful_algorithm_passes(self):
+        graph = _graph(11)
+        result = run_broadcast(graph, NullOracle(), Flooding(), audit=True)
+        assert result.success
+
+    def test_faithful_wakeup_passes(self):
+        graph = _graph(12)
+        result = run_wakeup(
+            graph, SpanningTreeWakeupOracle(), TreeWakeup(), audit=True
+        )
+        assert result.success
+
+    @pytest.mark.parametrize(
+        "algorithm", [WallClockFlood(), SharedStateFlood()], ids=["clock", "stateful"]
+    )
+    def test_cheating_algorithm_raises(self, algorithm):
+        graph = _graph(13)
+        with pytest.raises(AuditFailure) as excinfo:
+            run_broadcast(graph, NullOracle(), algorithm, audit=True)
+        assert excinfo.value.report is not None
+        assert not excinfo.value.report.faithful
+
+    def test_truncated_run_cannot_be_audited(self):
+        graph = _graph(14)
+        with pytest.raises(AuditFailure, match="quiescence"):
+            run_broadcast(graph, NullOracle(), Flooding(), max_messages=1, audit=True)

@@ -1,0 +1,247 @@
+"""Tests for the static model-compliance linter (``repro.lint``)."""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.lint import (
+    PARSE_ERROR_CODE,
+    RULES,
+    LintError,
+    lint_file,
+    lint_paths,
+    lint_source,
+    rule_catalog,
+)
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures")
+LIBRARY = os.path.join(os.path.dirname(__file__), os.pardir, "src", "repro")
+
+
+def codes(findings):
+    return sorted({f.code for f in findings})
+
+
+class TestFixturesAreCaught:
+    """Each known-bad fixture must trip exactly its intended rule."""
+
+    @pytest.mark.parametrize(
+        "filename,expected",
+        [
+            ("bad_engine_peek.py", "MDL001"),
+            ("bad_anonymous_id.py", "MDL002"),
+            ("bad_wall_clock.py", "MDL003"),
+            ("bad_mutable_state.py", "MDL004"),
+            ("bad_raw_advice.py", "MDL005"),
+        ],
+    )
+    def test_fixture_flagged_with_its_code(self, filename, expected):
+        findings = lint_file(os.path.join(FIXTURES, filename))
+        assert codes(findings) == [expected]
+        assert all(f.line > 0 and f.snippet for f in findings)
+
+    def test_directory_sweep_reports_every_rule(self):
+        findings = lint_paths([FIXTURES])
+        assert codes(findings) == ["MDL001", "MDL002", "MDL003", "MDL004", "MDL005"]
+
+
+class TestLibraryIsClean:
+    def test_shipped_library_lints_clean(self):
+        assert lint_paths([LIBRARY]) == []
+
+
+class TestRuleDetails:
+    """Unit-level positives and negatives straight from source text."""
+
+    def test_mdl001_self_private_state_is_fine(self):
+        source = (
+            "class S:\n"
+            "    def on_init(self, ctx):\n"
+            "        self._seen = True\n"
+            "    def on_receive(self, ctx, payload, port):\n"
+            "        pass\n"
+        )
+        assert lint_source(source) == []
+
+    def test_mdl002_honest_non_anonymous_algorithm_is_fine(self):
+        source = (
+            "class _S:\n"
+            "    def on_init(self, ctx):\n"
+            "        x = ctx.node_id\n"
+            "    def on_receive(self, ctx, payload, port):\n"
+            "        pass\n"
+            "class A:\n"
+            "    anonymous_safe = False\n"
+            "    def scheme_for(self, advice, is_source, node_id, degree):\n"
+            "        return _S()\n"
+        )
+        assert lint_source(source) == []
+
+    def test_mdl002_registry_cross_check_by_class_name(self):
+        # A module redefining a library-registered anonymous-safe algorithm
+        # (Flooding) is held to that claim even without an in-body literal.
+        source = (
+            "class _S:\n"
+            "    def on_init(self, ctx):\n"
+            "        x = ctx.node_id\n"
+            "    def on_receive(self, ctx, payload, port):\n"
+            "        pass\n"
+            "class Flooding:\n"
+            "    def scheme_for(self, advice, is_source, node_id, degree):\n"
+            "        return _S()\n"
+        )
+        assert codes(lint_source(source)) == ["MDL002"]
+
+    def test_mdl003_seeded_random_instance_is_fine(self):
+        source = (
+            "import random\n"
+            "class S:\n"
+            "    def __init__(self, seed):\n"
+            "        self._rng = random.Random(seed)\n"
+            "    def on_init(self, ctx):\n"
+            "        self._rng.randrange(2)\n"
+            "    def on_receive(self, ctx, payload, port):\n"
+            "        pass\n"
+        )
+        assert lint_source(source) == []
+
+    def test_mdl003_from_random_import_is_flagged(self):
+        source = (
+            "from random import randrange\n"
+            "class S:\n"
+            "    def on_init(self, ctx):\n"
+            "        randrange(2)\n"
+            "    def on_receive(self, ctx, payload, port):\n"
+            "        pass\n"
+        )
+        assert codes(lint_source(source)) == ["MDL003"]
+
+    def test_mdl003_skips_files_without_model_code(self):
+        # Analysis/driver code may use module-level random freely.
+        assert lint_source("import random\nx = random.random()\n") == []
+
+    def test_mdl004_immutable_class_attributes_are_fine(self):
+        source = (
+            "class S:\n"
+            "    RETRIES = 3\n"
+            "    NAME = 'scheme'\n"
+            "    def on_init(self, ctx):\n"
+            "        pass\n"
+            "    def on_receive(self, ctx, payload, port):\n"
+            "        pass\n"
+        )
+        assert lint_source(source) == []
+
+    def test_mdl005_bitstring_values_are_fine(self):
+        source = (
+            "class O:\n"
+            "    def advise(self, graph):\n"
+            "        return AdviceMap({v: BitString('1') for v in graph.nodes()})\n"
+        )
+        assert lint_source(source) == []
+
+
+class TestSuppressions:
+    def test_inline_pragma_silences_that_line(self):
+        source = (
+            "import time\n"
+            "class S:\n"
+            "    def on_init(self, ctx):\n"
+            "        t = time.time()  # repro-lint: disable=MDL003\n"
+            "    def on_receive(self, ctx, payload, port):\n"
+            "        u = time.time()\n"
+        )
+        findings = lint_source(source)
+        assert codes(findings) == ["MDL003"]
+        assert [f.line for f in findings] == [6]
+
+    def test_file_wide_pragma_on_comment_line(self):
+        source = (
+            "# repro-lint: disable=MDL003\n"
+            "import time\n"
+            "class S:\n"
+            "    def on_init(self, ctx):\n"
+            "        t = time.time()\n"
+            "    def on_receive(self, ctx, payload, port):\n"
+            "        pass\n"
+        )
+        assert lint_source(source) == []
+
+    def test_disable_all(self):
+        source = (
+            "class S:\n"
+            "    def on_init(self, ctx):\n"
+            "        ctx.drain()  # repro-lint: disable=all\n"
+            "    def on_receive(self, ctx, payload, port):\n"
+            "        pass\n"
+        )
+        assert lint_source(source) == []
+
+
+class TestParseFailures:
+    def test_syntax_error_is_reported_not_swallowed(self):
+        findings = lint_source("def broken(:\n")
+        assert codes(findings) == [PARSE_ERROR_CODE]
+
+
+class TestEngineApi:
+    def test_rule_catalog_lists_every_code(self):
+        text = rule_catalog()
+        for rule in RULES:
+            assert rule.code in text
+
+    def test_unknown_select_code_raises(self):
+        with pytest.raises(LintError):
+            lint_paths([FIXTURES], select=["MDL999"])
+
+    def test_select_narrows_to_one_rule(self):
+        findings = lint_paths([FIXTURES], select=["MDL004"])
+        assert codes(findings) == ["MDL004"]
+
+    def test_ignore_drops_a_rule(self):
+        findings = lint_paths([FIXTURES], ignore=["MDL004"])
+        assert "MDL004" not in codes(findings)
+
+    def test_missing_path_raises(self):
+        with pytest.raises(LintError):
+            lint_paths([os.path.join(FIXTURES, "no_such_file.py")])
+
+
+class TestCli:
+    def test_fixtures_exit_nonzero_with_codes(self, capsys):
+        assert main(["lint", FIXTURES]) == 1
+        out = capsys.readouterr().out
+        for code in ("MDL001", "MDL002", "MDL003", "MDL004", "MDL005"):
+            assert code in out
+
+    def test_library_exits_zero(self, capsys):
+        assert main(["lint", LIBRARY]) == 0
+        assert "0 findings" in capsys.readouterr().out
+
+    def test_json_format_is_machine_readable(self, capsys):
+        assert main(["lint", FIXTURES, "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert {entry["code"] for entry in payload} == {
+            "MDL001", "MDL002", "MDL003", "MDL004", "MDL005"
+        }
+        assert all({"path", "line", "col", "message"} <= set(entry) for entry in payload)
+
+    def test_select_option(self, capsys):
+        assert main(["lint", FIXTURES, "--select", "MDL005"]) == 1
+        out = capsys.readouterr().out
+        assert "MDL005" in out and "MDL001" not in out
+
+    def test_unknown_rule_code_is_usage_error(self, capsys):
+        assert main(["lint", FIXTURES, "--select", "MDL999"]) == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_missing_path_is_usage_error(self, capsys):
+        assert main(["lint", "definitely/not/here"]) == 2
+        assert "no such file" in capsys.readouterr().err
+
+    def test_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        assert "MDL001" in out and "MDL005" in out
