@@ -19,6 +19,7 @@ MODULES = [
     "repro.algorithms",
     "repro.lowerbounds",
     "repro.lint",
+    "repro.obs",
     "repro.analysis",
     "repro.agent",
     "repro.cli",

@@ -3,7 +3,9 @@
 Experiments are mostly of one shape — "for every graph family and every
 size, run some (oracle, algorithm) pairs and record a row".  This module is
 that loop, with reproducible family builders and failure capture (a failed
-run becomes a row with ``success=False``, never an aborted sweep).
+run becomes a row with ``success=False``; a failed *builder* becomes a row
+with ``skipped=True`` and the exception type — never a silently missing
+cell).
 """
 
 from __future__ import annotations
@@ -15,6 +17,8 @@ from ..core.scheme import Algorithm
 from ..core.tasks import TaskResult, run_broadcast, run_wakeup
 from ..network.builders import FAMILY_BUILDERS
 from ..network.graph import PortLabeledGraph
+from ..obs.events import SweepCellMeasured, SweepCellSkipped
+from ..obs.observe import Observation, resolve_obs
 
 __all__ = ["sweep_families", "run_pair", "task_result_row"]
 
@@ -26,14 +30,21 @@ def sweep_families(
     sizes: Sequence[int],
     measurement: Measurement,
     families: Optional[Iterable[str]] = None,
+    obs: Optional[Observation] = None,
 ) -> List[Dict[str, Any]]:
     """Apply ``measurement(family, n, graph)`` over the grid; one row each.
 
     ``families`` defaults to every named family in
-    :data:`repro.network.FAMILY_BUILDERS`.  Builder errors (e.g. a family
-    that needs a larger minimum size) skip the cell rather than killing the
-    sweep.
+    :data:`repro.network.FAMILY_BUILDERS`.  A builder error (e.g. a family
+    that needs a larger minimum size) no longer silently skips the cell:
+    it records a structured row ``{"family", "n", "skipped": True,
+    "error": <exception type>, "detail": <message>}`` and emits a
+    :class:`repro.obs.SweepCellSkipped` event, so a sweep can never
+    under-cover the grid without the gap showing up in its own output.
+    Filter with ``[r for r in rows if not r.get("skipped")]`` where only
+    measured cells are wanted.
     """
+    obs = resolve_obs(obs)
     chosen = list(families) if families is not None else sorted(FAMILY_BUILDERS)
     rows: List[Dict[str, Any]] = []
     for family in chosen:
@@ -41,12 +52,29 @@ def sweep_families(
         for n in sizes:
             try:
                 graph = builder(n)
-            except Exception:
+            except Exception as exc:
+                rows.append(
+                    {
+                        "family": family,
+                        "n": n,
+                        "skipped": True,
+                        "error": type(exc).__name__,
+                        "detail": str(exc),
+                    }
+                )
+                if obs.enabled:
+                    obs.emit(
+                        SweepCellSkipped(
+                            family=family, n=n, error=type(exc).__name__, detail=str(exc)
+                        )
+                    )
                 continue
             row = measurement(family, n, graph)
             row.setdefault("family", family)
             row.setdefault("n", graph.num_nodes)
             rows.append(row)
+            if obs.enabled:
+                obs.emit(SweepCellMeasured(family=family, n=graph.num_nodes))
     return rows
 
 
@@ -57,7 +85,11 @@ def run_pair(
     task: str = "broadcast",
     **kwargs,
 ) -> TaskResult:
-    """Run one (oracle, algorithm) pair; ``task`` is ``broadcast``/``wakeup``."""
+    """Run one (oracle, algorithm) pair; ``task`` is ``broadcast``/``wakeup``.
+
+    Keyword arguments (including ``obs=`` for telemetry) pass straight
+    through to :func:`repro.core.run_broadcast` / :func:`repro.core.run_wakeup`.
+    """
     if task == "broadcast":
         return run_broadcast(graph, oracle, algorithm, **kwargs)
     if task == "wakeup":

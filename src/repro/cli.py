@@ -15,15 +15,25 @@ Commands
 ``compare [--family F] [--n N]``
     Oracle x algorithm comparison matrix on one network.
 ``list``
-    List the available experiments with their titles.
+    List the available experiments and the algorithm registry (with each
+    algorithm's declared ``wakeup`` / ``anonymous_safe`` claims).
 ``lint [paths ...] [--format text|json] [--select ...] [--ignore ...]``
     Static model-compliance linter (rules MDL001-MDL005) over scheme,
     algorithm, and oracle source; exits nonzero on findings.
+``trace --task broadcast --family kstar --n 64 --out run.jsonl``
+    Run one task with full telemetry and export the structured event
+    stream as JSONL (plus a wall-time-per-phase table on stdout).
+``stats run.jsonl``
+    Summarize a saved trace or sweep: per-run table, per-round delivery
+    histogram, replayed metrics registry, growth fits across sizes.
+``bench-export raw.json [--out BENCH_obs.json]``
+    Convert pytest-benchmark JSON output into the committed perf record.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -49,10 +59,24 @@ def _cmd_experiment(ids: List[str]) -> int:
 
 
 def _cmd_list() -> int:
+    from .algorithms import ALGORITHM_REGISTRY
+    from .analysis.tables import format_table
+
+    print("experiments:")
     for eid in sorted(EXPERIMENTS):
         result_fn = EXPERIMENTS[eid]
         doc = (result_fn.__doc__ or "").strip().splitlines()[0]
         print(f"{eid}: {doc}")
+    print()
+    rows = [
+        {
+            "algorithm": info.name,
+            "wakeup": info.wakeup,
+            "anonymous_safe": info.anonymous_safe,
+        }
+        for __, info in sorted(ALGORITHM_REGISTRY.items())
+    ]
+    print(format_table(rows, title="algorithms (repro.algorithms.ALGORITHM_REGISTRY):"))
     return 0
 
 
@@ -77,7 +101,15 @@ def _cmd_quickstart(n: int) -> int:
         ("broadcast (Thm 3.1)", run_broadcast(graph, LightTreeBroadcastOracle(), SchemeB())),
         ("flooding (baseline)", run_broadcast(graph, NullOracle(), Flooding())),
     ):
-        print(f"{label}: {result.summary()}")
+        s = result.trace.summary()
+        status = "ok" if result.success else "FAILED"
+        print(
+            f"{label}: n={result.graph_nodes}, {result.oracle_name} "
+            f"({result.oracle_bits} bits) + {result.algorithm_name} -> "
+            f"{s['messages']} messages in {s['rounds']} rounds, "
+            f"informed {s['informed']}/{result.graph_nodes}, "
+            f"undelivered {s['undelivered']} [{status}]"
+        )
     return 0
 
 
@@ -107,6 +139,120 @@ def _cmd_lint(
     else:
         print(format_text(findings))
     return 1 if findings else 0
+
+
+#: ``repro trace --oracle`` choices: a small named set covering the paper's
+#: pairs plus the baselines.
+TRACE_ORACLES = ("light-tree", "spanning-tree", "null", "full-map")
+
+
+def _make_trace_oracle(name: str):
+    from .core import FullMapOracle, NullOracle
+    from .oracles import LightTreeBroadcastOracle, SpanningTreeWakeupOracle
+
+    return {
+        "light-tree": LightTreeBroadcastOracle,
+        "spanning-tree": SpanningTreeWakeupOracle,
+        "null": NullOracle,
+        "full-map": FullMapOracle,
+    }[name]()
+
+
+def _cmd_trace(
+    task: str,
+    family: str,
+    n: int,
+    oracle_name: Optional[str],
+    algorithm_name: Optional[str],
+    scheduler_name: str,
+    seed: int,
+    out: str,
+    audit: bool,
+) -> int:
+    from .algorithms import ALGORITHM_REGISTRY
+    from .analysis.tables import format_table
+    from .core import run_broadcast, run_wakeup
+    from .network.builders import FAMILY_BUILDERS
+    from .obs import JSONLSink, Observation
+    from .simulator.schedulers import make_scheduler
+
+    try:
+        graph = FAMILY_BUILDERS[family](n)
+    except KeyError:
+        print(
+            f"error: unknown family {family!r}; have {sorted(FAMILY_BUILDERS)}",
+            file=sys.stderr,
+        )
+        return 2
+    if oracle_name is None:
+        oracle_name = "light-tree" if task == "broadcast" else "spanning-tree"
+    oracle = _make_trace_oracle(oracle_name)
+    if algorithm_name is None:
+        algorithm_name = "SchemeB" if task == "broadcast" else "TreeWakeup"
+    info = ALGORITHM_REGISTRY.get(algorithm_name)
+    if info is None:
+        print(
+            f"error: unknown algorithm {algorithm_name!r}; "
+            f"have {sorted(ALGORITHM_REGISTRY)}",
+            file=sys.stderr,
+        )
+        return 2
+    runner = run_broadcast if task == "broadcast" else run_wakeup
+    with Observation(JSONLSink(out)) as obs:
+        result = runner(
+            graph,
+            oracle,
+            info.cls(),
+            scheduler=make_scheduler(scheduler_name, seed),
+            audit=audit,
+            obs=obs,
+        )
+        events = obs.sink.count
+    s = result.trace.summary()
+    status = "ok" if result.success else "FAILED"
+    print(
+        f"{task} on {family} n={result.graph_nodes}: {result.oracle_name} "
+        f"({result.oracle_bits} bits) + {result.algorithm_name} -> "
+        f"{s['messages']} messages in {s['rounds']} rounds, "
+        f"informed {s['informed']}/{result.graph_nodes} [{status}]"
+    )
+    timing_rows = obs.timings.as_rows()
+    if timing_rows:
+        print()
+        print(format_table(timing_rows, title="Wall time per phase (seconds)"))
+    print()
+    print(f"wrote {events} events to {out}")
+    return 0 if result.success else 1
+
+
+def _cmd_stats(path: str) -> int:
+    from .obs import read_jsonl, stats_report
+
+    try:
+        events = read_jsonl(path)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        print(stats_report(events))
+    except BrokenPipeError:
+        # Downstream pager/head closed early; that's not an error.  Detach
+        # stdout so the interpreter's shutdown flush doesn't complain too.
+        sys.stdout = open(os.devnull, "w")
+        return 0
+    return 0
+
+
+def _cmd_bench_export(in_path: str, out_path: str) -> int:
+    from .obs import emit_bench_obs
+
+    try:
+        document = emit_bench_obs(in_path, out_path)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"wrote {out_path} ({len(document['benchmarks'])} benchmark(s))")
+    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -152,6 +298,41 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--list-rules", action="store_true", help="print the rule catalog and exit"
     )
 
+    p_trace = sub.add_parser(
+        "trace", help="run one task with telemetry and export the JSONL event stream"
+    )
+    p_trace.add_argument("--task", choices=("broadcast", "wakeup"), default="broadcast")
+    p_trace.add_argument("--family", default="kstar", help="graph family (see FAMILY_BUILDERS)")
+    p_trace.add_argument("--n", type=int, default=64)
+    p_trace.add_argument(
+        "--oracle", choices=TRACE_ORACLES, default=None,
+        help="default: the task's paper oracle",
+    )
+    p_trace.add_argument(
+        "--algorithm", default=None,
+        help="registry name (see `repro list`); default: the task's paper algorithm",
+    )
+    p_trace.add_argument(
+        "--scheduler", default="sync",
+        help="sync | fifo | random | delay-hello | hurry-hello",
+    )
+    p_trace.add_argument("--seed", type=int, default=0, help="scheduler RNG seed")
+    p_trace.add_argument("--out", default="run.jsonl", help="JSONL output path")
+    p_trace.add_argument(
+        "--audit", action="store_true", help="replay-audit the run after quiescence"
+    )
+
+    p_stats = sub.add_parser(
+        "stats", help="summarize a saved JSONL trace (tables, metrics, growth fits)"
+    )
+    p_stats.add_argument("path", help="JSONL trace written by `repro trace` or a JSONLSink")
+
+    p_bench = sub.add_parser(
+        "bench-export", help="convert pytest-benchmark JSON to BENCH_obs.json"
+    )
+    p_bench.add_argument("input", help="file written by pytest --benchmark-json=...")
+    p_bench.add_argument("--out", default="BENCH_obs.json")
+
     args = parser.parse_args(argv)
     if args.command == "experiment":
         return _cmd_experiment(args.ids)
@@ -183,6 +364,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     if args.command == "lint":
         return _cmd_lint(args.paths, args.format, args.select, args.ignore, args.list_rules)
+    if args.command == "trace":
+        return _cmd_trace(
+            args.task, args.family, args.n, args.oracle, args.algorithm,
+            args.scheduler, args.seed, args.out, args.audit,
+        )
+    if args.command == "stats":
+        return _cmd_stats(args.path)
+    if args.command == "bench-export":
+        return _cmd_bench_export(args.input, args.out)
     parser.error(f"unknown command {args.command!r}")
     return 2
 

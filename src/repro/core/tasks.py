@@ -19,6 +19,8 @@ from dataclasses import dataclass
 from typing import Hashable, Optional
 
 from ..network.graph import PortLabeledGraph
+from ..obs.events import AdviceComputed, AuditFailed
+from ..obs.observe import Observation, resolve_obs
 from ..simulator.engine import Simulation
 from ..simulator.schedulers import Scheduler, make_scheduler
 from ..simulator.trace import ExecutionTrace
@@ -87,11 +89,27 @@ def _run(
     max_messages: Optional[int],
     advice: Optional[AdviceMap],
     audit: bool = False,
+    obs: Optional[Observation] = None,
 ) -> TaskResult:
+    obs = resolve_obs(obs)
     if not graph.frozen:
         graph = graph.copy().freeze()
     if advice is None:
-        advice = oracle.advise(graph)
+        with obs.span("oracle"):
+            advice = oracle.advise(graph)
+    if obs.enabled:
+        bits_histogram: dict = {}
+        for v in graph.nodes():
+            bits = len(advice[v])
+            bits_histogram[bits] = bits_histogram.get(bits, 0) + 1
+        obs.emit(
+            AdviceComputed(
+                oracle=oracle.name,
+                nodes=graph.num_nodes,
+                total_bits=advice.total_bits(),
+                bits_histogram=dict(sorted(bits_histogram.items())),
+            )
+        )
     schemes = {}
     for v in graph.nodes():
         node_id: Optional[Hashable] = None if anonymous else v
@@ -110,8 +128,10 @@ def _run(
         anonymous=anonymous,
         wakeup=wakeup,
         max_messages=max_messages,
+        obs=obs,
     )
-    trace = sim.run()
+    with obs.span("simulate"):
+        trace = sim.run()
     if audit:
         from .audit import AuditFailure, replay_audit
 
@@ -120,8 +140,15 @@ def _run(
                 f"{task} run hit a safety limit before quiescence; the replay "
                 "audit is only meaningful for complete runs"
             )
-        report = replay_audit(graph, algorithm, advice, trace, anonymous=anonymous)
+        with obs.span("audit"):
+            report = replay_audit(graph, algorithm, advice, trace, anonymous=anonymous)
         if not report.faithful:
+            if obs.enabled:
+                obs.emit(
+                    AuditFailed(
+                        algorithm=algorithm.name, mismatches=len(report.mismatches)
+                    )
+                )
             preview = "; ".join(str(m) for m in report.mismatches[:3])
             raise AuditFailure(
                 f"{algorithm.name} failed the replay audit "
@@ -155,6 +182,7 @@ def run_broadcast(
     max_messages: Optional[int] = None,
     advice: Optional[AdviceMap] = None,
     audit: bool = False,
+    obs: Optional[Observation] = None,
 ) -> TaskResult:
     """Run a broadcast: nodes may transmit spontaneously.
 
@@ -162,11 +190,14 @@ def run_broadcast(
     sweeping schedulers over one network).  With ``audit=True`` the run is
     replay-audited after quiescence and :class:`repro.core.audit.AuditFailure`
     is raised on any mismatch — the dynamic model check composed into one
-    call (the static half is ``python -m repro lint``).
+    call (the static half is ``python -m repro lint``).  ``obs`` threads an
+    :class:`repro.obs.Observation` through the whole pipeline: phase spans
+    (oracle/simulate/audit), the advice-size event, and the engine's
+    send/delivery stream.
     """
     return _run(
         "broadcast", graph, oracle, algorithm, scheduler, anonymous, False, max_messages,
-        advice, audit,
+        advice, audit, obs,
     )
 
 
@@ -179,6 +210,7 @@ def run_wakeup(
     max_messages: Optional[int] = None,
     advice: Optional[AdviceMap] = None,
     audit: bool = False,
+    obs: Optional[Observation] = None,
 ) -> TaskResult:
     """Run a wakeup: the engine *enforces* that only awake nodes transmit.
 
@@ -186,9 +218,10 @@ def run_wakeup(
     :class:`repro.simulator.WakeupViolation` — by definition such an
     algorithm is not a wakeup algorithm.  ``audit=True`` replay-audits the
     completed run and raises :class:`repro.core.audit.AuditFailure` on
-    mismatch, as in :func:`run_broadcast`.
+    mismatch, as in :func:`run_broadcast`; ``obs`` threads telemetry as in
+    :func:`run_broadcast`.
     """
     return _run(
         "wakeup", graph, oracle, algorithm, scheduler, anonymous, True, max_messages,
-        advice, audit,
+        advice, audit, obs,
     )

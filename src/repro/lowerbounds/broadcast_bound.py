@@ -173,15 +173,18 @@ def gadget_broadcast_outcome(
     k: int,
     seed: int = 0,
     budget: Optional[int] = None,
+    obs=None,
 ) -> TaskResult:
     """Run (oracle, algorithm) on the algorithm's own adversarial gadget.
 
     ``budget`` caps the oracle via :class:`TruncatingOracle` — set it to
     ``n // (2 * k)`` to stand at the paper's ``o(n)`` operating point.
+    ``obs`` (an :class:`repro.obs.Observation`) captures the run's
+    telemetry, quadratic blowups and limit hits included.
     """
     graph, __ = adversarial_gadget(algorithm, n, k, seed)
     effective = oracle if budget is None else TruncatingOracle(oracle, budget)
-    return run_broadcast(graph, effective, algorithm, max_messages=10**7)
+    return run_broadcast(graph, effective, algorithm, max_messages=10**7, obs=obs)
 
 
 @dataclass(frozen=True)

@@ -31,6 +31,8 @@ from itertools import permutations
 from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
 from ..network.graph import edge_key
+from ..obs.events import AdversaryProbe
+from ..obs.observe import Observation, resolve_obs
 
 __all__ = [
     "Instance",
@@ -198,14 +200,21 @@ def lemma21_lower_bound(family_size: int, x_size: int) -> float:
 
 
 def run_adversary(
-    prober: Prober, instances: Sequence[Instance], max_probes: Optional[int] = None
+    prober: Prober,
+    instances: Sequence[Instance],
+    max_probes: Optional[int] = None,
+    obs: Optional[Observation] = None,
 ) -> AdversaryResult:
     """Drive a scheme with the Lemma 2.1 adversary over an instance family.
 
     The adversary maintains the active set explicitly; every answer keeps the
     larger half (majority label for special answers), so the final probe
-    count certifies ``probes >= log2 |I| - log2 |X|!``.
+    count certifies ``probes >= log2 |I| - log2 |X|!``.  Pass ``obs`` to
+    stream one :class:`repro.obs.AdversaryProbe` event per probe — the
+    halving argument, live: ``active_after`` shrinks by at most half per
+    regular answer (with a ``|X| - r`` label factor on special ones).
     """
+    obs = resolve_obs(obs)
     if not instances:
         raise ValueError("need a non-empty instance family")
     first = instances[0]
@@ -224,6 +233,7 @@ def run_adversary(
         edge = edge_key(*prober(knowledge))
         if edge in knowledge.answers:
             raise RuntimeError(f"scheme probed edge {edge} twice")
+        active_before = len(active)
         special = [i for i in active if i.label_of(edge) is not None]
         regular = [i for i in active if i.label_of(edge) is None]
         if len(special) >= len(regular):
@@ -237,6 +247,16 @@ def run_adversary(
             active = regular
             knowledge.answers[edge] = None
         probes += 1
+        if obs.enabled:
+            obs.emit(
+                AdversaryProbe(
+                    probe=probes,
+                    edge=edge,
+                    active_before=active_before,
+                    active_after=len(active),
+                    answer=knowledge.answers[edge],
+                )
+            )
     assert len(active) == 1, "a completed scheme pins down exactly one instance"
     return AdversaryResult(
         probes=probes,

@@ -76,11 +76,11 @@ class GadgetWakeupRow:
         return self.oracle_bits / (big_n * math.log2(big_n))
 
 
-def gadget_wakeup_upper(n: int, seed: int = 0) -> GadgetWakeupRow:
-    """Run the Theorem 2.1 pair on a random ``G_{n,S}``."""
+def gadget_wakeup_upper(n: int, seed: int = 0, obs=None) -> GadgetWakeupRow:
+    """Run the Theorem 2.1 pair on a random ``G_{n,S}`` (telemetry via ``obs``)."""
     rng = random.Random(seed)
     graph = subdivision_family_graph(n, sample_edge_tuple(n, n, rng))
-    result = run_wakeup(graph, SpanningTreeWakeupOracle(), TreeWakeup())
+    result = run_wakeup(graph, SpanningTreeWakeupOracle(), TreeWakeup(), obs=obs)
     return GadgetWakeupRow(
         n=n,
         gadget_nodes=graph.num_nodes,
@@ -212,13 +212,16 @@ def adversary_demonstration(
     n: int,
     x_size: int,
     probers: Sequence[Prober] = (),
+    obs=None,
 ) -> List[AdversaryResult]:
     """Run the Lemma 2.1 adversary against probing schemes on the full
     instance family over ``K*_n`` (exhaustive — keep ``n``, ``x_size``
-    small).  Every returned result satisfies ``certified``."""
+    small).  Every returned result satisfies ``certified``.  ``obs``
+    (an :class:`repro.obs.Observation`) streams per-probe adversary
+    progress for every scheme."""
     instances = enumerate_instances(n, x_size)
     schemes = list(probers) if probers else [LexicographicProber()]
-    return [run_adversary(scheme, instances) for scheme in schemes]
+    return [run_adversary(scheme, instances, obs=obs) for scheme in schemes]
 
 
 def empirical_threshold(n: int) -> dict:

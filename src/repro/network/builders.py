@@ -281,6 +281,8 @@ FAMILY_BUILDERS = {
     "cycle": lambda n: cycle_graph(max(3, n)),
     "star": lambda n: star_graph(n),
     "complete": lambda n: complete_graph_star(n),
+    # The paper's name for the canonically port-labeled complete graph.
+    "kstar": lambda n: complete_graph_star(n),
     "grid": lambda n: grid_graph(max(1, int(n**0.5)), max(1, (n + int(n**0.5) - 1) // max(1, int(n**0.5)))),
     "random_tree": lambda n: random_tree(n, seed=10_000 + n),
     "gnp_sparse": lambda n: random_connected_gnp(n, min(1.0, 3.0 / max(1, n - 1)), seed=20_000 + n),

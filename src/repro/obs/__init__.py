@@ -1,0 +1,107 @@
+"""Observability: structured run telemetry, metrics, and trace export.
+
+This package is the library's measurement substrate.  Three layers:
+
+* **Events** (:mod:`repro.obs.events`) — typed, logical-only records of
+  what happened: run boundaries, rounds, sends, deliveries, limit hits,
+  audit failures, sweep skips, adversary probes.  Deterministic by
+  construction (no timestamps), so same-seed runs produce byte-identical
+  JSONL streams.
+* **Sinks** (:mod:`repro.obs.sinks`) — where events go: ``NullSink``
+  (default, near-zero overhead), ``MemorySink``, ``JSONLSink``, ``TeeSink``.
+* **Metrics** (:mod:`repro.obs.metrics`) — counters/gauges/histograms
+  derived from events through one shared reducer, plus a separate
+  wall-clock ``timings`` registry fed by :meth:`Observation.span`.
+
+Usage::
+
+    from repro.obs import Observation, JSONLSink
+
+    with Observation(JSONLSink("run.jsonl")) as obs:
+        result = run_broadcast(graph, oracle, algorithm, obs=obs)
+    print(obs.metrics.snapshot()["messages_sent"])
+    print(obs.timings.snapshot())          # wall-time per phase
+
+``repro trace`` / ``repro stats`` are the CLI faces of this package, and
+:mod:`repro.obs.bench` turns pytest-benchmark output into the committed
+``BENCH_obs.json`` perf record.
+"""
+
+from .events import (
+    AdviceComputed,
+    AdversaryProbe,
+    AuditFailed,
+    Event,
+    EVENT_KINDS,
+    LimitHit,
+    MessageDelivered,
+    MessageSent,
+    RoundStarted,
+    RunEnded,
+    RunStarted,
+    SpanEnded,
+    SpanStarted,
+    SweepCellMeasured,
+    SweepCellSkipped,
+    jsonable,
+)
+from .bench import BENCH_SCHEMA, convert_benchmark_json, emit_bench_obs
+from .export import (
+    per_round_rows,
+    read_jsonl,
+    replay_metrics,
+    run_rows,
+    split_runs,
+    stats_report,
+)
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry, apply_event
+from .observe import NULL_OBSERVATION, Observation, resolve_obs
+from .sinks import EventSink, JSONLSink, MemorySink, NullSink, TeeSink, encode_event
+
+__all__ = [
+    # events
+    "Event",
+    "RunStarted",
+    "RoundStarted",
+    "MessageSent",
+    "MessageDelivered",
+    "LimitHit",
+    "RunEnded",
+    "AdviceComputed",
+    "AuditFailed",
+    "SpanStarted",
+    "SpanEnded",
+    "SweepCellMeasured",
+    "SweepCellSkipped",
+    "AdversaryProbe",
+    "EVENT_KINDS",
+    "jsonable",
+    # sinks
+    "EventSink",
+    "NullSink",
+    "MemorySink",
+    "JSONLSink",
+    "TeeSink",
+    "encode_event",
+    # metrics
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "apply_event",
+    # observation
+    "Observation",
+    "NULL_OBSERVATION",
+    "resolve_obs",
+    # export / stats
+    "read_jsonl",
+    "replay_metrics",
+    "split_runs",
+    "run_rows",
+    "per_round_rows",
+    "stats_report",
+    # bench emitter
+    "BENCH_SCHEMA",
+    "convert_benchmark_json",
+    "emit_bench_obs",
+]

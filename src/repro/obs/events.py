@@ -1,0 +1,252 @@
+"""Typed telemetry events: the vocabulary of the structured run stream.
+
+Every observable moment in the library — a run starting, a round boundary,
+a send, a delivery, a safety limit, an audit failure, a sweep cell being
+skipped, an adversary probe — is one frozen dataclass here.  Events carry
+**logical** information only: no wall-clock timestamps, no memory
+addresses, nothing host-dependent.  That discipline is what makes the
+JSONL event stream *deterministic*: two runs with the same seed produce
+byte-identical streams, so a saved trace is a reproducible artifact, not a
+log file.  (Wall-clock timings exist too, but they live in the separate
+``timings`` registry populated by :meth:`repro.obs.Observation.span` —
+see :mod:`repro.obs.observe`.)
+
+Serialization: :meth:`Event.to_dict` produces a JSON-ready dict with the
+event ``kind`` first; payloads and node labels that are not natively
+JSON-representable are rendered through :func:`jsonable` (``repr`` for
+anything beyond the scalar types), which keeps the stream loadable
+anywhere while staying deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Any, ClassVar, Dict, Optional, Tuple, Type
+
+__all__ = [
+    "Event",
+    "RunStarted",
+    "RoundStarted",
+    "MessageSent",
+    "MessageDelivered",
+    "LimitHit",
+    "RunEnded",
+    "AdviceComputed",
+    "AuditFailed",
+    "SpanStarted",
+    "SpanEnded",
+    "SweepCellMeasured",
+    "SweepCellSkipped",
+    "AdversaryProbe",
+    "EVENT_KINDS",
+    "jsonable",
+]
+
+_SCALARS = (str, int, float, bool, type(None))
+
+
+def jsonable(value: Any) -> Any:
+    """Render ``value`` for the JSONL stream: scalars pass through,
+    dicts/lists/tuples recurse, everything else becomes its ``repr``.
+
+    ``repr`` is deterministic for the payloads and node labels the library
+    uses (strings, ints, tuples), which is all the determinism guarantee
+    needs.
+    """
+    if isinstance(value, bool) or isinstance(value, _SCALARS):
+        return value
+    if isinstance(value, dict):
+        return {str(jsonable(k)): jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [jsonable(v) for v in value]
+    return repr(value)
+
+
+@dataclass(frozen=True)
+class Event:
+    """Base class: a ``kind`` tag plus typed fields."""
+
+    kind: ClassVar[str] = "event"
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready dict, ``{"event": kind, ...fields...}``."""
+        out: Dict[str, Any] = {"event": self.kind}
+        for f in fields(self):
+            out[f.name] = jsonable(getattr(self, f.name))
+        return out
+
+
+@dataclass(frozen=True)
+class RunStarted(Event):
+    """A simulation is about to execute."""
+
+    kind: ClassVar[str] = "run_started"
+    task: str
+    nodes: int
+    edges: int
+    source: Any
+    scheduler: str
+    anonymous: bool
+    wakeup: bool
+
+
+@dataclass(frozen=True)
+class RoundStarted(Event):
+    """The scheduler crossed into a new delivery round."""
+
+    kind: ClassVar[str] = "round_started"
+    round: int
+
+
+@dataclass(frozen=True)
+class MessageSent(Event):
+    """One message entered the in-flight set."""
+
+    kind: ClassVar[str] = "message_sent"
+    seq: int
+    sender: Any
+    receiver: Any
+    send_port: int
+    arrival_port: int
+    payload: Any
+    sender_informed: bool
+    round: int
+
+
+@dataclass(frozen=True)
+class MessageDelivered(Event):
+    """One message left the in-flight set and ran the receiver's scheme."""
+
+    kind: ClassVar[str] = "message_delivered"
+    step: int
+    seq: int
+    sender: Any
+    receiver: Any
+    arrival_port: int
+    payload: Any
+    round: int
+    newly_informed: bool
+
+
+@dataclass(frozen=True)
+class LimitHit(Event):
+    """A safety limit truncated the run."""
+
+    kind: ClassVar[str] = "limit_hit"
+    reason: str
+    messages_sent: int
+    step: int
+
+
+@dataclass(frozen=True)
+class RunEnded(Event):
+    """The run reached quiescence or was truncated."""
+
+    kind: ClassVar[str] = "run_ended"
+    messages: int
+    delivered: int
+    rounds: int
+    informed: int
+    nodes: int
+    undelivered: int
+    completed: bool
+    limit_hit: bool
+
+
+@dataclass(frozen=True)
+class AdviceComputed(Event):
+    """An oracle produced its advice map for one network.
+
+    ``bits_histogram`` maps advice length (bits) to the number of nodes
+    receiving a string of that length — compact even on large networks,
+    and exactly what the ``advice_bits_per_node`` histogram replays from.
+    """
+
+    kind: ClassVar[str] = "advice_computed"
+    oracle: str
+    nodes: int
+    total_bits: int
+    bits_histogram: Dict[int, int]
+
+
+@dataclass(frozen=True)
+class AuditFailed(Event):
+    """A replay audit found the run diverging from its schemes."""
+
+    kind: ClassVar[str] = "audit_failed"
+    algorithm: str
+    mismatches: int
+
+
+@dataclass(frozen=True)
+class SpanStarted(Event):
+    """A named phase began (logical marker; durations live in timings)."""
+
+    kind: ClassVar[str] = "span_started"
+    name: str
+
+
+@dataclass(frozen=True)
+class SpanEnded(Event):
+    """A named phase ended (logical marker; durations live in timings)."""
+
+    kind: ClassVar[str] = "span_ended"
+    name: str
+
+
+@dataclass(frozen=True)
+class SweepCellMeasured(Event):
+    """One (family, n) cell of a sweep produced a row."""
+
+    kind: ClassVar[str] = "sweep_cell_measured"
+    family: str
+    n: int
+
+
+@dataclass(frozen=True)
+class SweepCellSkipped(Event):
+    """One (family, n) cell of a sweep was skipped by a builder failure."""
+
+    kind: ClassVar[str] = "sweep_cell_skipped"
+    family: str
+    n: int
+    error: str
+    detail: str
+
+
+@dataclass(frozen=True)
+class AdversaryProbe(Event):
+    """One probe answered by the Lemma 2.1 adversary.
+
+    ``active_before``/``active_after`` expose the halving argument live:
+    the adversary's surviving instance family can at worst halve per probe
+    (losing a ``|X| - r`` factor when forced to reveal a label).
+    """
+
+    kind: ClassVar[str] = "adversary_probe"
+    probe: int
+    edge: Tuple[int, int]
+    active_before: int
+    active_after: int
+    answer: Optional[int]
+
+
+#: kind -> event class, for readers that want to rehydrate typed events.
+EVENT_KINDS: Dict[str, Type[Event]] = {
+    cls.kind: cls
+    for cls in (
+        RunStarted,
+        RoundStarted,
+        MessageSent,
+        MessageDelivered,
+        LimitHit,
+        RunEnded,
+        AdviceComputed,
+        AuditFailed,
+        SpanStarted,
+        SpanEnded,
+        SweepCellMeasured,
+        SweepCellSkipped,
+        AdversaryProbe,
+    )
+}

@@ -1,0 +1,103 @@
+"""The observation handle threaded through the library's hot paths.
+
+An :class:`Observation` bundles:
+
+* a sink (the structured event stream — see :mod:`repro.obs.sinks`);
+* ``metrics`` — a :class:`MetricsRegistry` populated *only* through the
+  :func:`repro.obs.metrics.apply_event` reducer, so it is a pure function
+  of the event stream and replays identically from a saved JSONL file;
+* ``timings`` — a second registry holding wall-clock span durations
+  (seconds, via ``time.perf_counter``).  Timings are deliberately kept out
+  of both the event stream and ``metrics``: they are host-dependent, and
+  mixing them in would break the byte-identical-stream guarantee.
+
+Everything defaults to :data:`NULL_OBSERVATION` — a disabled handle whose
+cost in the simulator's inner loop is one attribute check.  Code that
+accepts an optional ``obs`` argument normalizes it with
+:func:`resolve_obs` and then writes ``if obs.enabled:`` around event
+construction.
+
+The clock lives here, far from scheme code: schemes and oracles remain
+pure functions of their histories (lint rule MDL003), while the harness
+around them may time whatever it likes.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from time import perf_counter
+from typing import Iterator, Optional
+
+from .events import Event, SpanEnded, SpanStarted
+from .metrics import MetricsRegistry, apply_event
+from .sinks import EventSink, NullSink
+
+__all__ = ["Observation", "NULL_OBSERVATION", "resolve_obs"]
+
+
+class Observation:
+    """One sink + one event-derived metrics registry + one timings registry.
+
+    ``enabled`` is True when there is anywhere for telemetry to go: a
+    non-null sink, or an explicitly supplied metrics registry (metrics
+    without an event file is a perfectly good way to watch a run).
+    """
+
+    __slots__ = ("sink", "metrics", "timings", "enabled")
+
+    def __init__(
+        self,
+        sink: Optional[EventSink] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.sink: EventSink = sink if sink is not None else NullSink()
+        explicit_metrics = metrics is not None
+        self.metrics: MetricsRegistry = metrics if explicit_metrics else MetricsRegistry()
+        self.timings = MetricsRegistry()
+        self.enabled = bool(self.sink.enabled or explicit_metrics)
+
+    def emit(self, event: Event) -> None:
+        """Sink the event and fold it into ``metrics`` (no-op when disabled)."""
+        if not self.enabled:
+            return
+        if self.sink.enabled:
+            self.sink.emit(event)
+        apply_event(self.metrics, event)
+
+    @contextmanager
+    def span(self, name: str) -> Iterator[None]:
+        """Time a named phase into ``timings`` (histogram ``walltime_s.<name>``).
+
+        Emits logical :class:`SpanStarted`/:class:`SpanEnded` markers into
+        the event stream; the measured duration never enters the stream.
+        """
+        if not self.enabled:
+            yield
+            return
+        self.emit(SpanStarted(name))
+        start = perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = perf_counter() - start
+            self.timings.histogram(f"walltime_s.{name}").observe(elapsed)
+            self.emit(SpanEnded(name))
+
+    def close(self) -> None:
+        """Close the sink (flushing file sinks)."""
+        self.sink.close()
+
+    def __enter__(self) -> "Observation":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+#: The shared disabled handle: every ``obs=None`` resolves to this.
+NULL_OBSERVATION = Observation()
+
+
+def resolve_obs(obs: Optional[Observation]) -> Observation:
+    """``obs`` itself, or the null observation when ``None``."""
+    return obs if obs is not None else NULL_OBSERVATION

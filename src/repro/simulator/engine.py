@@ -24,6 +24,15 @@ from typing import Dict, Hashable, Mapping, Optional
 
 from ..encoding import BitString
 from ..network.graph import PortLabeledGraph
+from ..obs.events import (
+    LimitHit,
+    MessageDelivered,
+    MessageSent,
+    RoundStarted,
+    RunEnded,
+    RunStarted,
+)
+from ..obs.observe import Observation, resolve_obs
 from .messages import InFlightMessage
 from .node import NodeContext, NodeRuntime, Process, WakeupViolation
 from .schedulers import Scheduler, SynchronousScheduler
@@ -64,6 +73,11 @@ class Simulation:
         graph's designated source, and start with no informed node.  Used by
         the Theorem 3.2 machinery, which watches how a scheme behaves inside
         a clique that no message has entered yet.
+    obs:
+        An :class:`repro.obs.Observation` receiving the structured event
+        stream (run boundaries, rounds, sends, deliveries, limit hits).
+        Defaults to the disabled null observation, whose cost in the inner
+        loop is a single attribute check.
     """
 
     def __init__(
@@ -78,11 +92,13 @@ class Simulation:
         max_steps: Optional[int] = None,
         stop_when_informed: bool = False,
         no_source: bool = False,
+        obs: Optional[Observation] = None,
     ) -> None:
         if not graph.frozen:
             graph = graph.copy().freeze()
         self._graph = graph
         self._scheduler = scheduler if scheduler is not None else SynchronousScheduler()
+        self._obs = resolve_obs(obs)
         self._wakeup = wakeup
         self._max_messages = max_messages
         self._max_steps = max_steps
@@ -92,6 +108,7 @@ class Simulation:
         if missing:
             raise ValueError(f"processes must cover exactly the node set; mismatch on {missing}")
         self._no_source = no_source
+        self._anonymous = anonymous
         self._runtimes: Dict[Hashable, NodeRuntime] = {}
         for v in graph.nodes():
             is_source = (v == graph.source) and not no_source
@@ -118,6 +135,19 @@ class Simulation:
             raise RuntimeError("a Simulation object runs once; build a new one")
         self._ran = True
         trace = self._trace
+        obs = self._obs
+        if obs.enabled:
+            obs.emit(
+                RunStarted(
+                    task="wakeup" if self._wakeup else "broadcast",
+                    nodes=self._graph.num_nodes,
+                    edges=self._graph.num_edges,
+                    source=self._graph.source,
+                    scheduler=type(self._scheduler).__name__,
+                    anonymous=self._anonymous,
+                    wakeup=self._wakeup,
+                )
+            )
         if not self._no_source:
             trace.informed_at[self._graph.source] = 0
 
@@ -154,13 +184,29 @@ class Simulation:
                     round=msg.deliver_at,
                 )
             )
+            if obs.enabled and msg.deliver_at > trace.rounds:
+                obs.emit(RoundStarted(round=msg.deliver_at))
             trace.rounds = max(trace.rounds, msg.deliver_at)
             receiver.received_count += 1
             receiver.history.append((msg.payload, msg.arrival_port))
-            if msg.sender_informed and not receiver.informed:
+            newly_informed = msg.sender_informed and not receiver.informed
+            if newly_informed:
                 receiver.informed = True
                 receiver.informed_at = step
                 trace.informed_at[msg.receiver] = step
+            if obs.enabled:
+                obs.emit(
+                    MessageDelivered(
+                        step=step,
+                        seq=msg.seq,
+                        sender=msg.sender,
+                        receiver=msg.receiver,
+                        arrival_port=msg.arrival_port,
+                        payload=msg.payload,
+                        round=msg.deliver_at,
+                        newly_informed=newly_informed,
+                    )
+                )
             receiver.process.on_receive(receiver.context, msg.payload, msg.arrival_port)
             limit_hit = self._enqueue(
                 receiver, receiver.context.drain(), deliver_at=msg.deliver_at + 1
@@ -169,9 +215,24 @@ class Simulation:
                 break
         trace.message_limit_hit = limit_hit
         trace.completed = self._scheduler.empty() and not limit_hit
+        while not self._scheduler.empty():
+            trace.undelivered.append(self._scheduler.pop())
         for v, runtime in self._runtimes.items():
             if runtime.context.has_output:
                 trace.outputs[v] = runtime.context.output_value
+        if obs.enabled:
+            obs.emit(
+                RunEnded(
+                    messages=trace.messages_sent,
+                    delivered=len(trace.deliveries),
+                    rounds=trace.rounds,
+                    informed=len(trace.informed_at),
+                    nodes=self._graph.num_nodes,
+                    undelivered=len(trace.undelivered),
+                    completed=trace.completed,
+                    limit_hit=trace.message_limit_hit,
+                )
+            )
         return trace
 
     # ------------------------------------------------------------------
@@ -199,10 +260,31 @@ class Simulation:
             runtime.sent_count += 1
             self._trace.messages_sent += 1
             self._scheduler.push(msg)
+            if self._obs.enabled:
+                self._obs.emit(
+                    MessageSent(
+                        seq=msg.seq,
+                        sender=msg.sender,
+                        receiver=msg.receiver,
+                        send_port=msg.send_port,
+                        arrival_port=msg.arrival_port,
+                        payload=msg.payload,
+                        sender_informed=msg.sender_informed,
+                        round=deliver_at,
+                    )
+                )
         return False
 
     def _limit(self, reason: str) -> bool:
         self._trace.message_limit_hit = True
+        if self._obs.enabled:
+            self._obs.emit(
+                LimitHit(
+                    reason=reason,
+                    messages_sent=self._trace.messages_sent,
+                    step=len(self._trace.deliveries),
+                )
+            )
         return True
 
     # ------------------------------------------------------------------

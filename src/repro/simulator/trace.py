@@ -49,6 +49,41 @@ class ExecutionTrace:
         """Nodes that held the source message when the run ended."""
         return set(self.informed_at)
 
+    def per_round_deliveries(self) -> Dict[int, int]:
+        """Delivered-message count per round, ascending by round."""
+        counts: Dict[int, int] = {}
+        for d in self.deliveries:
+            counts[d.round] = counts.get(d.round, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def summary(self) -> Dict[str, Any]:
+        """The run's headline numbers as one plain dict.
+
+        Keys: ``messages`` (sent), ``delivered``, ``rounds``, ``informed``,
+        ``informed_fraction`` (of nodes that ever appear in the trace;
+        callers with the graph at hand should divide by ``num_nodes``
+        instead), ``undelivered``, ``completed``, ``limit_hit``, and
+        ``per_round`` (round -> deliveries).  This is what ``repro
+        quickstart`` prints and what :class:`repro.core.TaskResult`
+        summaries build on.
+        """
+        informed = len(self.informed_at)
+        participants = set(self.informed_at)
+        for d in self.deliveries:
+            participants.add(d.sender)
+            participants.add(d.receiver)
+        return {
+            "messages": self.messages_sent,
+            "delivered": len(self.deliveries),
+            "rounds": self.rounds,
+            "informed": informed,
+            "informed_fraction": informed / len(participants) if participants else 0.0,
+            "undelivered": len(self.undelivered),
+            "completed": self.completed,
+            "limit_hit": self.message_limit_hit,
+            "per_round": self.per_round_deliveries(),
+        }
+
     def history_of(self, node: Hashable) -> List[Tuple[Any, int]]:
         """The (message, arrival port) sequence received by ``node``."""
         return [

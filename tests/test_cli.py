@@ -95,3 +95,95 @@ class TestCompare:
     def test_unknown_family(self, capsys):
         assert main(["compare", "--family", "nope"]) == 2
         assert "unknown family" in capsys.readouterr().err
+
+
+class TestListRegistry:
+    def test_lists_algorithm_metadata(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "ALGORITHM_REGISTRY" in out
+        assert "anonymous_safe" in out
+        assert "SchemeB" in out and "TreeWakeup" in out
+
+
+class TestTrace:
+    def test_broadcast_trace_end_to_end(self, tmp_path, capsys):
+        out_path = str(tmp_path / "run.jsonl")
+        assert main(
+            ["trace", "--task", "broadcast", "--family", "kstar",
+             "--n", "16", "--out", out_path]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "broadcast on kstar n=16" in out
+        assert "Wall time per phase" in out
+        assert f"events to {out_path}" in out
+        text = open(out_path).read()
+        assert '"event":"run_started"' in text
+        assert '"event":"run_ended"' in text
+
+    def test_wakeup_trace_defaults(self, tmp_path, capsys):
+        out_path = str(tmp_path / "w.jsonl")
+        assert main(["trace", "--task", "wakeup", "--n", "8", "--out", out_path]) == 0
+        out = capsys.readouterr().out
+        assert "wakeup on kstar n=8" in out
+        assert "TreeWakeup" in out
+
+    def test_unknown_family(self, tmp_path, capsys):
+        assert main(
+            ["trace", "--family", "nope", "--out", str(tmp_path / "x.jsonl")]
+        ) == 2
+        assert "unknown family" in capsys.readouterr().err
+
+    def test_unknown_algorithm(self, tmp_path, capsys):
+        assert main(
+            ["trace", "--algorithm", "Nope", "--out", str(tmp_path / "x.jsonl")]
+        ) == 2
+        assert "unknown algorithm" in capsys.readouterr().err
+
+
+class TestStats:
+    def test_stats_renders_saved_trace(self, tmp_path, capsys):
+        out_path = str(tmp_path / "run.jsonl")
+        assert main(["trace", "--n", "8", "--out", out_path]) == 0
+        capsys.readouterr()
+        assert main(["stats", out_path]) == 0
+        out = capsys.readouterr().out
+        assert "Runs (1)" in out
+        assert "messages_sent" in out
+
+    def test_stats_missing_file(self, tmp_path, capsys):
+        assert main(["stats", str(tmp_path / "absent.jsonl")]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_stats_rejects_non_trace(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("not json\n")
+        assert main(["stats", str(bad)]) == 2
+        assert "not JSON" in capsys.readouterr().err
+
+
+class TestBenchExport:
+    def test_converts_benchmark_json(self, tmp_path, capsys):
+        import json
+
+        raw = tmp_path / "raw.json"
+        raw.write_text(json.dumps({
+            "version": "5.2.3",
+            "machine_info": {"python_version": "3.12"},
+            "benchmarks": [
+                {"name": "t", "fullname": "f::t", "group": None,
+                 "stats": {"min": 1, "max": 2, "mean": 1.5, "stddev": 0.1,
+                           "median": 1.4, "rounds": 3, "iterations": 1}},
+            ],
+        }))
+        out = tmp_path / "BENCH_obs.json"
+        assert main(["bench-export", str(raw), "--out", str(out)]) == 0
+        assert "1 benchmark(s)" in capsys.readouterr().out
+        doc = json.loads(out.read_text())
+        assert doc["schema"] == "repro-bench/1"
+
+    def test_rejects_non_benchmark_input(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{}")
+        assert main(["bench-export", str(bad)]) == 2
+        assert "error" in capsys.readouterr().err
