@@ -20,6 +20,7 @@ MODULES = [
     "repro.lowerbounds",
     "repro.lint",
     "repro.obs",
+    "repro.parallel",
     "repro.analysis",
     "repro.agent",
     "repro.cli",

@@ -86,6 +86,11 @@ from .oracles import (
     SpanningTreeWakeupOracle,
     light_spanning_tree,
 )
+from .parallel import (
+    ConstructionCache,
+    parallel_sweep_families,
+    run_experiments,
+)
 from .simulator import (
     Simulation,
     WakeupViolation,
@@ -159,4 +164,8 @@ __all__ = [
     "Simulation",
     "WakeupViolation",
     "make_scheduler",
+    # parallel
+    "ConstructionCache",
+    "parallel_sweep_families",
+    "run_experiments",
 ]

@@ -25,7 +25,13 @@ from .experiments import (
 )
 from .report import render_markdown, write_report
 from .fits import GROWTH_MODELS, GrowthFit, classify_growth, fit_rate
-from .measure import run_pair, sweep_families, task_result_row
+from .measure import (
+    measurement_keywords,
+    run_pair,
+    run_sweep_cell,
+    sweep_families,
+    task_result_row,
+)
 from .tables import format_table, format_value
 
 __all__ = [
@@ -52,6 +58,8 @@ __all__ = [
     "fit_rate",
     "classify_growth",
     "sweep_families",
+    "run_sweep_cell",
+    "measurement_keywords",
     "run_pair",
     "task_result_row",
     "format_table",

@@ -15,6 +15,7 @@ on a laptop; pass larger ``sizes`` for sharper asymptotics.
 
 from __future__ import annotations
 
+import inspect
 import math
 import random
 from typing import Any, Callable, Dict, List, Sequence
@@ -84,24 +85,40 @@ DEFAULT_SIZES = (16, 32, 64, 128, 256)
 DEFAULT_FAMILIES = ("path", "cycle", "random_tree", "gnp_sparse", "gnp_dense", "complete")
 
 
+def _family_graph(family: str, n: int, cache=None):
+    """Build one family member, through the construction cache when given."""
+    builder = FAMILY_BUILDERS[family]
+    if cache is None:
+        return builder(n)
+    return cache.graph(family, n, builder=lambda: builder(n))
+
+
+def _cached_advice(cache, family: str, n: int, oracle, graph):
+    """Memoized advice when a cache is active, else ``None`` (compute live)."""
+    if cache is None:
+        return None
+    return cache.advice(family, n, oracle, graph)
+
+
 # ----------------------------------------------------------------------
 # E1 — Theorem 2.1: wakeup upper bound
 # ----------------------------------------------------------------------
 def experiment_e1_wakeup_upper(
     sizes: Sequence[int] = DEFAULT_SIZES,
     families: Sequence[str] = DEFAULT_FAMILIES,
+    cache=None,
 ) -> ExperimentResult:
     """Oracle size ``n log n + o(n log n)``; exactly ``n - 1`` messages."""
     rows: List[Dict[str, Any]] = []
     for family in families:
-        builder = FAMILY_BUILDERS[family]
         for n in sizes:
             try:
-                graph = builder(n)
+                graph = _family_graph(family, n, cache)
             except Exception:
                 continue
             oracle = SpanningTreeWakeupOracle()
-            result = run_wakeup(graph, oracle, TreeWakeup())
+            advice = _cached_advice(cache, family, n, oracle, graph)
+            result = run_wakeup(graph, oracle, TreeWakeup(), advice=advice)
             nn = graph.num_nodes
             rows.append(
                 {
@@ -139,6 +156,7 @@ def experiment_e2_wakeup_lower(
     gadget_sizes: Sequence[int] = (8, 16, 32, 64),
     counting_exponents: Sequence[int] = (10, 16, 22, 28, 34),
     alphas: Sequence[float] = (0.2, 1.0 / 3.0, 0.49),
+    cache=None,
 ) -> ExperimentResult:
     """Adversary runs, gadget measurements, and the exact counting curves."""
     rows: List[Dict[str, Any]] = []
@@ -160,7 +178,7 @@ def experiment_e2_wakeup_lower(
         )
     # (b) the hard family: upper bound tight on it, baselines quadratic.
     for n in gadget_sizes:
-        row = gadget_wakeup_upper(n, seed=n)
+        row = gadget_wakeup_upper(n, seed=n, cache=cache)
         rows.append(
             {
                 "part": "gadget-upper",
@@ -170,7 +188,7 @@ def experiment_e2_wakeup_lower(
                 "ok": row.success and row.messages == row.gadget_nodes - 1,
             }
         )
-        zero = zero_advice_cost(n, seed=n)
+        zero = zero_advice_cost(n, seed=n, cache=cache)
         rows.append(
             {
                 "part": "zero-advice",
@@ -182,7 +200,7 @@ def experiment_e2_wakeup_lower(
         )
     # (c) truncation: the concrete optimal algorithm degrades below full advice.
     for fraction in (0.25, 0.5, 0.75, 1.0):
-        t = truncated_oracle_outcome(32, fraction, seed=5)
+        t = truncated_oracle_outcome(32, fraction, seed=5, cache=cache)
         rows.append(
             {
                 "part": "truncation",
@@ -227,14 +245,14 @@ def experiment_e2_wakeup_lower(
 def experiment_e3_light_tree(
     sizes: Sequence[int] = DEFAULT_SIZES,
     families: Sequence[str] = DEFAULT_FAMILIES,
+    cache=None,
 ) -> ExperimentResult:
     """``sum #2(w(e)) <= 4n`` for the constructed tree, vs naive trees."""
     rows: List[Dict[str, Any]] = []
     for family in families:
-        builder = FAMILY_BUILDERS[family]
         for n in sizes:
             try:
-                graph = builder(n)
+                graph = _family_graph(family, n, cache)
             except Exception:
                 continue
             nn = graph.num_nodes
@@ -275,19 +293,20 @@ def experiment_e3_light_tree(
 def experiment_e4_broadcast_upper(
     sizes: Sequence[int] = DEFAULT_SIZES,
     families: Sequence[str] = DEFAULT_FAMILIES,
+    cache=None,
 ) -> ExperimentResult:
     """Oracle ``<= 8n`` bits; Scheme B ``<= 2(n-1)`` messages, all schedulers."""
     rows: List[Dict[str, Any]] = []
     for family in families:
-        builder = FAMILY_BUILDERS[family]
         for n in sizes:
             try:
-                graph = builder(n)
+                graph = _family_graph(family, n, cache)
             except Exception:
                 continue
             nn = graph.num_nodes
             oracle = LightTreeBroadcastOracle()
-            result = run_broadcast(graph, oracle, SchemeB())
+            advice = _cached_advice(cache, family, n, oracle, graph)
+            result = run_broadcast(graph, oracle, SchemeB(), advice=advice)
             hello = result.trace.messages_with_payload(HELLO_MESSAGE)
             msg = result.trace.messages_with_payload(SOURCE_MESSAGE)
             rows.append(
@@ -326,6 +345,7 @@ def experiment_e5_broadcast_lower(
     n: int = 32,
     k: int = 4,
     counting_pairs: Sequence = ((2**16, 2), (2**16, 4), (2**20, 4), (2**24, 4)),
+    cache=None,
 ) -> ExperimentResult:
     """Clique classification, adversarial gadget, and the Eq. 6-7 curves."""
     rows: List[Dict[str, Any]] = []
@@ -341,7 +361,9 @@ def experiment_e5_broadcast_lower(
                 "ok": True,
             }
         )
-    full = gadget_broadcast_outcome(SchemeB(), LightTreeBroadcastOracle(), n, k, seed=1)
+    full = gadget_broadcast_outcome(
+        SchemeB(), LightTreeBroadcastOracle(), n, k, seed=1, cache=cache
+    )
     rows.append(
         {
             "part": "gadget",
@@ -352,7 +374,8 @@ def experiment_e5_broadcast_lower(
         }
     )
     capped = gadget_broadcast_outcome(
-        SchemeB(), LightTreeBroadcastOracle(), n, k, seed=1, budget=n // (2 * k)
+        SchemeB(), LightTreeBroadcastOracle(), n, k, seed=1, budget=n // (2 * k),
+        cache=cache,
     )
     rows.append(
         {
@@ -363,7 +386,9 @@ def experiment_e5_broadcast_lower(
             "ok": not capped.success,
         }
     )
-    chatter = gadget_broadcast_outcome(ChatterFlood(), NullOracle(), n, k, seed=1)
+    chatter = gadget_broadcast_outcome(
+        ChatterFlood(), NullOracle(), n, k, seed=1, cache=cache
+    )
     rows.append(
         {
             "part": "gadget",
@@ -465,27 +490,34 @@ def experiment_e7_robustness(
     n: int = 64,
     families: Sequence[str] = ("gnp_sparse", "complete", "random_tree"),
     schedulers: Sequence[str] = ("sync", "fifo", "random", "delay-hello", "hurry-hello"),
+    cache=None,
 ) -> ExperimentResult:
     """Async + anonymous + bounded messages: both upper bounds unaffected."""
     rows: List[Dict[str, Any]] = []
     for family in families:
-        graph = FAMILY_BUILDERS[family](n)
+        graph = _family_graph(family, n, cache)
         nn = graph.num_nodes
+        wake_oracle = SpanningTreeWakeupOracle()
+        bcast_oracle = LightTreeBroadcastOracle()
+        wake_advice = _cached_advice(cache, family, n, wake_oracle, graph)
+        bcast_advice = _cached_advice(cache, family, n, bcast_oracle, graph)
         for sched in schedulers:
             for anonymous in (False, True):
                 w = run_wakeup(
                     graph,
-                    SpanningTreeWakeupOracle(),
+                    wake_oracle,
                     TreeWakeup(),
                     scheduler=make_scheduler(sched, seed=13),
                     anonymous=anonymous,
+                    advice=wake_advice,
                 )
                 b = run_broadcast(
                     graph,
-                    LightTreeBroadcastOracle(),
+                    bcast_oracle,
                     SchemeB(),
                     scheduler=make_scheduler(sched, seed=13),
                     anonymous=anonymous,
+                    advice=bcast_advice,
                 )
                 rows.append(
                     {
@@ -627,12 +659,20 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
 EXPERIMENTS.update(_extension_registry())
 
 
-def run_experiment(experiment_id: str, **kwargs) -> ExperimentResult:
-    """Run one experiment from the registry by id (``E1`` .. ``E8``)."""
+def run_experiment(experiment_id: str, cache=None, **kwargs) -> ExperimentResult:
+    """Run one experiment from the registry by id (``E1`` .. ``E14``).
+
+    ``cache`` — an optional :class:`repro.parallel.ConstructionCache` —
+    is forwarded to experiments that declare a ``cache`` parameter (the
+    graph-building ones); experiments that are pure numerics simply never
+    receive it.
+    """
     try:
         fn = EXPERIMENTS[experiment_id.upper()]
     except KeyError:
         raise ValueError(
             f"unknown experiment {experiment_id!r}; have {sorted(EXPERIMENTS)}"
         ) from None
+    if cache is not None and "cache" in inspect.signature(fn).parameters:
+        kwargs["cache"] = cache
     return fn(**kwargs)

@@ -6,11 +6,23 @@ that loop, with reproducible family builders and failure capture (a failed
 run becomes a row with ``success=False``; a failed *builder* becomes a row
 with ``skipped=True`` and the exception type — never a silently missing
 cell).
+
+The loop body lives in :func:`run_sweep_cell` so that the serial sweep here
+and the process-pool executor in :mod:`repro.parallel` execute *the same
+code* per cell — that shared body is what makes the parallel path's rows
+and event stream byte-identical to a serial run.
+
+Row keys: every row carries both ``n`` (the actual ``graph.num_nodes`` for
+measured cells) and ``requested_n`` (the grid coordinate handed to the
+builder).  The two differ for families like ``grid`` that round to a
+feasible size, and skipped cells only ever knew the request — recording
+both keeps grids joinable on either axis.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
+import inspect
+from typing import Any, Callable, Dict, FrozenSet, Iterable, List, Optional, Sequence
 
 from ..core.oracle import Oracle
 from ..core.scheme import Algorithm
@@ -20,10 +32,93 @@ from ..network.graph import PortLabeledGraph
 from ..obs.events import SweepCellMeasured, SweepCellSkipped
 from ..obs.observe import Observation, resolve_obs
 
-__all__ = ["sweep_families", "run_pair", "task_result_row"]
+__all__ = [
+    "sweep_families",
+    "run_sweep_cell",
+    "measurement_keywords",
+    "run_pair",
+    "task_result_row",
+]
 
 GraphBuilder = Callable[[int], PortLabeledGraph]
 Measurement = Callable[[str, int, PortLabeledGraph], Dict[str, Any]]
+
+#: Optional keyword arguments a measurement may declare to receive the
+#: sweep's context: ``obs`` (the cell's Observation — in a parallel run
+#: this is a worker-local handle whose events are re-emitted in grid
+#: order) and ``cache`` (the run's ConstructionCache, when one is active).
+MEASUREMENT_KEYWORDS = frozenset({"obs", "cache"})
+
+
+def measurement_keywords(measurement: Measurement) -> FrozenSet[str]:
+    """Which of :data:`MEASUREMENT_KEYWORDS` ``measurement`` accepts.
+
+    Plain three-argument measurements get exactly the historical call;
+    measurements that also declare ``obs=``/``cache=`` (or ``**kwargs``)
+    receive the sweep's telemetry handle and construction cache.
+    """
+    try:
+        params = inspect.signature(measurement).parameters
+    except (TypeError, ValueError):
+        return frozenset()
+    if any(p.kind is inspect.Parameter.VAR_KEYWORD for p in params.values()):
+        return MEASUREMENT_KEYWORDS
+    return MEASUREMENT_KEYWORDS & frozenset(params)
+
+
+def run_sweep_cell(
+    family: str,
+    n: int,
+    measurement: Measurement,
+    obs: Observation,
+    cache=None,
+    accepts: Optional[FrozenSet[str]] = None,
+) -> Dict[str, Any]:
+    """Execute one (family, n) cell: build, measure, emit, return the row.
+
+    This is the single cell body shared by :func:`sweep_families` and the
+    parallel executor.  Builder failures become structured skipped rows
+    (with a :class:`repro.obs.SweepCellSkipped` event); measurement
+    failures propagate — a broken measurement is a bug, not a grid gap.
+    When ``cache`` is given, graph construction goes through
+    ``cache.graph(family, n)``.
+    """
+    builder = FAMILY_BUILDERS[family]
+    try:
+        if cache is not None:
+            graph = cache.graph(family, n, builder=lambda: builder(n))
+        else:
+            graph = builder(n)
+    except Exception as exc:
+        row: Dict[str, Any] = {
+            "family": family,
+            "n": n,
+            "requested_n": n,
+            "skipped": True,
+            "error": type(exc).__name__,
+            "detail": str(exc),
+        }
+        if obs.enabled:
+            obs.emit(
+                SweepCellSkipped(
+                    family=family, n=n, error=type(exc).__name__, detail=str(exc)
+                )
+            )
+        return row
+    if accepts is None:
+        accepts = measurement_keywords(measurement)
+    kwargs: Dict[str, Any] = {}
+    if "obs" in accepts:
+        kwargs["obs"] = obs
+    if "cache" in accepts and cache is not None:
+        kwargs["cache"] = cache
+    row = measurement(family, n, graph, **kwargs)
+    row.setdefault("family", family)
+    row.setdefault("n", graph.num_nodes)
+    row.setdefault("requested_n", n)
+    if obs.enabled:
+        obs.emit(SweepCellMeasured(family=family, n=graph.num_nodes))
+    return row
 
 
 def sweep_families(
@@ -31,50 +126,37 @@ def sweep_families(
     measurement: Measurement,
     families: Optional[Iterable[str]] = None,
     obs: Optional[Observation] = None,
+    cache=None,
 ) -> List[Dict[str, Any]]:
     """Apply ``measurement(family, n, graph)`` over the grid; one row each.
 
     ``families`` defaults to every named family in
     :data:`repro.network.FAMILY_BUILDERS`.  A builder error (e.g. a family
     that needs a larger minimum size) no longer silently skips the cell:
-    it records a structured row ``{"family", "n", "skipped": True,
-    "error": <exception type>, "detail": <message>}`` and emits a
-    :class:`repro.obs.SweepCellSkipped` event, so a sweep can never
+    it records a structured row ``{"family", "n", "requested_n",
+    "skipped": True, "error": <exception type>, "detail": <message>}`` and
+    emits a :class:`repro.obs.SweepCellSkipped` event, so a sweep can never
     under-cover the grid without the gap showing up in its own output.
     Filter with ``[r for r in rows if not r.get("skipped")]`` where only
     measured cells are wanted.
+
+    ``cache`` — an optional
+    :class:`repro.parallel.ConstructionCache` — memoizes graph
+    construction across cells and runs; measurements that declare a
+    ``cache=`` keyword receive it too (see :func:`measurement_keywords`).
+    For multi-process execution of the same grid, see
+    :func:`repro.parallel.parallel_sweep_families`, which falls back to
+    this exact function at ``workers=1``.
     """
     obs = resolve_obs(obs)
     chosen = list(families) if families is not None else sorted(FAMILY_BUILDERS)
+    accepts = measurement_keywords(measurement)
     rows: List[Dict[str, Any]] = []
     for family in chosen:
-        builder = FAMILY_BUILDERS[family]
         for n in sizes:
-            try:
-                graph = builder(n)
-            except Exception as exc:
-                rows.append(
-                    {
-                        "family": family,
-                        "n": n,
-                        "skipped": True,
-                        "error": type(exc).__name__,
-                        "detail": str(exc),
-                    }
-                )
-                if obs.enabled:
-                    obs.emit(
-                        SweepCellSkipped(
-                            family=family, n=n, error=type(exc).__name__, detail=str(exc)
-                        )
-                    )
-                continue
-            row = measurement(family, n, graph)
-            row.setdefault("family", family)
-            row.setdefault("n", graph.num_nodes)
-            rows.append(row)
-            if obs.enabled:
-                obs.emit(SweepCellMeasured(family=family, n=graph.num_nodes))
+            rows.append(
+                run_sweep_cell(family, n, measurement, obs, cache=cache, accepts=accepts)
+            )
     return rows
 
 

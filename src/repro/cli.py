@@ -2,10 +2,15 @@
 
 Commands
 --------
-``experiment E1 [E2 ...]``
+``experiment E1 [E2 ...]`` (alias: ``exp``)
     Run experiments from the registry and print their tables and findings.
+    ``--workers N`` fans the experiments over a process pool with a
+    deterministic, serial-identical merge (default ``$REPRO_WORKERS``);
+    ``--cache`` persists built graphs and oracle advice under
+    ``$REPRO_CACHE_DIR`` (default ``~/.cache/repro``).
 ``all``
-    Run every experiment (E1-E14) at default sizes.
+    Run every experiment (E1-E14) at default sizes; accepts the same
+    ``--workers`` / ``--cache`` flags.
 ``separation [--family F] [--sizes 16,32,...]``
     Just the headline separation sweep.
 ``quickstart [n]``
@@ -42,19 +47,43 @@ from .analysis.experiments import EXPERIMENTS, format_experiment, run_experiment
 __all__ = ["main"]
 
 
-def _cmd_experiment(ids: List[str]) -> int:
+def _cmd_experiment(
+    ids: List[str], workers: Optional[int] = None, use_cache: bool = False
+) -> int:
+    from .parallel import ConstructionCache, resolve_workers, run_experiments
+
+    cache = ConstructionCache.persistent() if use_cache else None
+    workers = resolve_workers(workers)
     status = 0
-    for eid in ids:
-        try:
-            result = run_experiment(eid)
-        except ValueError as exc:
-            print(f"error: {exc}", file=sys.stderr)
-            return 2
+    try:
+        if workers > 1:
+            # Fan whole experiments across a process pool; results come
+            # back in request order, so the output matches a serial run.
+            results = run_experiments(ids, workers=workers, cache=cache)
+            ordered = [results[eid] for eid in ids]
+        else:
+            ordered = [run_experiment(eid, cache=cache) for eid in ids]
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    for result in ordered:
         print(format_experiment(result))
         print()
         bad = [r for r in result.rows if r.get("ok") is False or r.get("success") is False]
         if bad:
             status = 1
+    if cache is not None:
+        if workers > 1:
+            # The parent cache never served a lookup: workers rebuilt their
+            # own from its spec, sharing only the disk layer.
+            print(f"construction cache: disk layer at {cache.persist_dir} "
+                  f"(per-worker stats not aggregated)")
+        else:
+            s = cache.stats
+            print(
+                f"construction cache: {s.hits} hit(s), {s.misses} miss(es), "
+                f"{s.disk_hits} from disk ({cache.persist_dir})"
+            )
     return status
 
 
@@ -264,10 +293,30 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p_exp = sub.add_parser("experiment", help="run one or more experiments (E1-E8)")
+    p_exp = sub.add_parser(
+        "experiment",
+        aliases=["exp"],
+        help="run one or more experiments (E1-E14)",
+    )
     p_exp.add_argument("ids", nargs="+", metavar="ID")
 
-    sub.add_parser("all", help="run every experiment")
+    p_all = sub.add_parser("all", help="run every experiment")
+
+    for p in (p_exp, p_all):
+        p.add_argument(
+            "--workers",
+            type=int,
+            default=None,
+            help="process-pool width (default: $REPRO_WORKERS, else 1 = in-process)",
+        )
+        p.add_argument(
+            "--cache",
+            action=argparse.BooleanOptionalAction,
+            default=False,
+            help="persist built graphs/advice under $REPRO_CACHE_DIR "
+            "(default ~/.cache/repro); --no-cache is the default",
+        )
+
     sub.add_parser("list", help="list the experiment registry")
 
     p_sep = sub.add_parser("separation", help="the headline separation sweep")
@@ -334,10 +383,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_bench.add_argument("--out", default="BENCH_obs.json")
 
     args = parser.parse_args(argv)
-    if args.command == "experiment":
-        return _cmd_experiment(args.ids)
+    if args.command in ("experiment", "exp"):
+        return _cmd_experiment(args.ids, args.workers, args.cache)
     if args.command == "all":
-        return _cmd_experiment(sorted(EXPERIMENTS))
+        return _cmd_experiment(sorted(EXPERIMENTS), args.workers, args.cache)
     if args.command == "list":
         return _cmd_list()
     if args.command == "separation":

@@ -76,10 +76,26 @@ class GadgetWakeupRow:
         return self.oracle_bits / (big_n * math.log2(big_n))
 
 
-def gadget_wakeup_upper(n: int, seed: int = 0, obs=None) -> GadgetWakeupRow:
+def _gadget_graph(n: int, seed: int, cache=None):
+    """A random ``G_{n,S}`` member, optionally through a construction cache.
+
+    The cache key carries the builder seed: distinct seeds are distinct
+    gadgets, and a cached gadget is bit-identical to a fresh build because
+    the edge tuple is a pure function of ``(n, seed)``.
+    """
+
+    def build():
+        rng = random.Random(seed)
+        return subdivision_family_graph(n, sample_edge_tuple(n, n, rng))
+
+    if cache is None:
+        return build()
+    return cache.graph("gadget_wakeup", n, seed=seed, builder=build)
+
+
+def gadget_wakeup_upper(n: int, seed: int = 0, obs=None, cache=None) -> GadgetWakeupRow:
     """Run the Theorem 2.1 pair on a random ``G_{n,S}`` (telemetry via ``obs``)."""
-    rng = random.Random(seed)
-    graph = subdivision_family_graph(n, sample_edge_tuple(n, n, rng))
+    graph = _gadget_graph(n, seed, cache)
     result = run_wakeup(graph, SpanningTreeWakeupOracle(), TreeWakeup(), obs=obs)
     return GadgetWakeupRow(
         n=n,
@@ -103,7 +119,9 @@ class TruncationRow:
     success: bool
 
 
-def truncated_oracle_outcome(n: int, fraction: float, seed: int = 0) -> TruncationRow:
+def truncated_oracle_outcome(
+    n: int, fraction: float, seed: int = 0, cache=None
+) -> TruncationRow:
     """Cap the Theorem 2.1 oracle at ``fraction`` of its size on ``G_{n,S}``.
 
     This does not *prove* anything (the theorem quantifies over all
@@ -111,8 +129,7 @@ def truncated_oracle_outcome(n: int, fraction: float, seed: int = 0) -> Truncati
     this concrete optimal-size algorithm: missing advice bits mean unreached
     nodes, because the tree structure is literally the information.
     """
-    rng = random.Random(seed)
-    graph = subdivision_family_graph(n, sample_edge_tuple(n, n, rng))
+    graph = _gadget_graph(n, seed, cache)
     full_oracle = SpanningTreeWakeupOracle()
     full_bits = full_oracle.size_on(graph)
     budget = int(full_bits * fraction)
@@ -128,14 +145,13 @@ def truncated_oracle_outcome(n: int, fraction: float, seed: int = 0) -> Truncati
     )
 
 
-def zero_advice_cost(n: int, seed: int = 0) -> dict:
+def zero_advice_cost(n: int, seed: int = 0, cache=None) -> dict:
     """Messages paid by the zero-advice wakeup baselines on ``G_{n,S}``.
 
     Both are ``Theta(m) = Theta(n^2)`` on the gadgets — the quadratic price
     of having no information, against ``N - 1`` with full advice.
     """
-    rng = random.Random(seed)
-    graph = subdivision_family_graph(n, sample_edge_tuple(n, n, rng))
+    graph = _gadget_graph(n, seed, cache)
     flood = run_wakeup(graph, NullOracle(), Flooding(), max_messages=10**7)
     dfs = run_wakeup(graph, NullOracle(), DFSTokenWakeup(), max_messages=10**7)
     return {

@@ -1,0 +1,51 @@
+"""Parallel execution and construction caching for sweeps and experiments.
+
+The library's evaluation is a grid — every (family, n, oracle, algorithm)
+cell independent of every other — and this package is the scale layer over
+it:
+
+* :mod:`repro.parallel.executor` — fan sweep cells or whole experiments
+  out over a :class:`concurrent.futures.ProcessPoolExecutor`
+  (``$REPRO_WORKERS`` sets the default width) and merge results
+  **deterministically**: rows in grid order, worker event streams
+  re-emitted in canonical order, so rows, JSONL traces, and metrics
+  registries are byte-identical to a serial run at the same seed.
+* :mod:`repro.parallel.cache` — a content-addressed
+  :class:`ConstructionCache` memoizing built graphs and oracle advice,
+  in memory and optionally on disk (``$REPRO_CACHE_DIR`` or
+  ``~/.cache/repro``), shared with worker processes.
+* :mod:`repro.parallel.grids` — picklable reference measurements
+  (:func:`e1_e4_cell`) used by the equivalence tests and the committed
+  parallel benchmark.
+
+See ``docs/PARALLEL.md`` for the determinism contract and cache key
+design.
+"""
+
+from .cache import (
+    CACHE_SCHEMA,
+    CacheStats,
+    ConstructionCache,
+    default_cache_dir,
+    resolve_cache,
+)
+from .executor import (
+    WORKERS_ENV,
+    parallel_sweep_families,
+    resolve_workers,
+    run_experiments,
+)
+from .grids import e1_e4_cell
+
+__all__ = [
+    "CACHE_SCHEMA",
+    "CacheStats",
+    "ConstructionCache",
+    "default_cache_dir",
+    "resolve_cache",
+    "WORKERS_ENV",
+    "resolve_workers",
+    "parallel_sweep_families",
+    "run_experiments",
+    "e1_e4_cell",
+]

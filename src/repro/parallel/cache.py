@@ -1,0 +1,301 @@
+"""Content-addressed construction cache for graphs and oracle advice.
+
+The E1-E14 grid rebuilds the same family members over and over: E1, E3,
+E4 and E6 all construct ``complete_graph_star(256)``; the two lower-bound
+drivers rebuild the same ``G_{n,S}`` subdivisions for every measurement on
+them.  Construction is pure — a family name, a size and a builder seed
+determine the graph bit for bit, and ``(graph, oracle)`` determines the
+advice — so the results are perfect cache fodder.
+
+:class:`ConstructionCache` memoizes both:
+
+* ``cache.graph(family, n, seed=..., builder=...)`` — the built
+  :class:`~repro.network.graph.PortLabeledGraph`;
+* ``cache.advice(family, n, oracle, graph, seed=...)`` — the oracle's
+  :class:`~repro.core.oracle.AdviceMap` on that graph.
+
+Keys are **content addresses**: the SHA-256 of a canonical
+``schema|kind|family|n|seed|oracle`` string.  The in-memory layer is a
+plain dict and always on; the optional disk layer (``persist_dir``, or
+:func:`default_cache_dir` = ``$REPRO_CACHE_DIR`` falling back to
+``~/.cache/repro``) stores graphs through
+:mod:`repro.network.serialization` and advice through
+:func:`repro.core.oracle.advice_to_json`, so warm entries survive across
+processes — including the worker processes of
+:mod:`repro.parallel.executor`, which each hydrate their own cache from
+the same directory.
+
+Invalidation is by key: anything that changes what a builder or oracle
+produces **must** change the key, which is why the builder ``seed`` and
+the oracle ``name`` are part of it and why :data:`CACHE_SCHEMA` is bumped
+whenever the serialization formats change.  Deleting the cache directory
+is always safe; every entry is derivable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import tempfile
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional
+
+from ..core.oracle import AdviceMap, Oracle, advice_from_json, advice_to_json
+from ..network import serialization
+from ..network.builders import FAMILY_BUILDERS
+from ..network.graph import GraphError, PortLabeledGraph
+
+__all__ = [
+    "CACHE_SCHEMA",
+    "CacheStats",
+    "ConstructionCache",
+    "default_cache_dir",
+    "resolve_cache",
+]
+
+#: Version tag mixed into every key; bump when the on-disk formats change.
+CACHE_SCHEMA = "repro-cache/1"
+
+#: Environment variable naming the persistent cache directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def default_cache_dir() -> str:
+    """``$REPRO_CACHE_DIR``, else ``~/.cache/repro``."""
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return env
+    return os.path.join(os.path.expanduser("~"), ".cache", "repro")
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting, split by layer."""
+
+    hits: int = 0
+    misses: int = 0
+    disk_hits: int = 0
+    disk_writes: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> Optional[float]:
+        return self.hits / self.lookups if self.lookups else None
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "disk_hits": self.disk_hits,
+            "disk_writes": self.disk_writes,
+            "hit_rate": self.hit_rate,
+        }
+
+
+@dataclass(frozen=True)
+class CacheSpec:
+    """The picklable identity of a cache: enough to rebuild one in a worker.
+
+    The in-memory dict deliberately does not travel — worker processes
+    start cold in memory and share only the disk layer.
+    """
+
+    persist_dir: Optional[str] = None
+
+    def build(self) -> "ConstructionCache":
+        return ConstructionCache(persist_dir=self.persist_dir)
+
+
+class ConstructionCache:
+    """Memoize graph construction and oracle advice within (and across) runs.
+
+    ``persist_dir=None`` keeps the cache purely in memory; a directory
+    enables the disk layer (created lazily on first write).  Both layers
+    are keyed identically, so a disk hit also warms the memory layer.
+    """
+
+    def __init__(self, persist_dir: Optional[str] = None) -> None:
+        self.persist_dir = persist_dir
+        self.stats = CacheStats()
+        self._graphs: Dict[str, PortLabeledGraph] = {}
+        self._advice: Dict[str, AdviceMap] = {}
+
+    @classmethod
+    def persistent(cls) -> "ConstructionCache":
+        """A cache backed by :func:`default_cache_dir`."""
+        return cls(persist_dir=default_cache_dir())
+
+    def spec(self) -> CacheSpec:
+        """The picklable description workers rebuild this cache from."""
+        return CacheSpec(persist_dir=self.persist_dir)
+
+    # ------------------------------------------------------------------
+    # Keys
+    # ------------------------------------------------------------------
+    @staticmethod
+    def key(kind: str, family: str, n: int, seed: Optional[int], oracle: str = "") -> str:
+        """The content address: SHA-256 of the canonical key string."""
+        raw = f"{CACHE_SCHEMA}|{kind}|{family}|{n}|{seed}|{oracle}"
+        return hashlib.sha256(raw.encode("utf-8")).hexdigest()
+
+    # ------------------------------------------------------------------
+    # Graphs
+    # ------------------------------------------------------------------
+    def graph(
+        self,
+        family: str,
+        n: int,
+        seed: Optional[int] = None,
+        builder: Optional[Callable[[], PortLabeledGraph]] = None,
+    ) -> PortLabeledGraph:
+        """The graph for ``(family, n, seed)``, built at most once.
+
+        ``builder`` is a zero-argument callable producing the graph on a
+        miss; it defaults to ``FAMILY_BUILDERS[family](n)``.  Builder
+        exceptions propagate uncached, so a failing cell fails identically
+        with and without a cache.
+        """
+        key = self.key("graph", family, n, seed)
+        cached = self._graphs.get(key)
+        if cached is not None:
+            self.stats.hits += 1
+            return cached
+        loaded = self._load_graph(key)
+        if loaded is not None:
+            self.stats.hits += 1
+            self.stats.disk_hits += 1
+            self._graphs[key] = loaded
+            return loaded
+        self.stats.misses += 1
+        if builder is None:
+            graph = FAMILY_BUILDERS[family](n)
+        else:
+            graph = builder()
+        if not graph.frozen:
+            graph = graph.copy().freeze()
+        self._graphs[key] = graph
+        self._store(key, "graph", lambda: serialization.to_json(graph))
+        return graph
+
+    # ------------------------------------------------------------------
+    # Advice
+    # ------------------------------------------------------------------
+    def advice(
+        self,
+        family: str,
+        n: int,
+        oracle: Oracle,
+        graph: PortLabeledGraph,
+        seed: Optional[int] = None,
+    ) -> AdviceMap:
+        """``oracle.advise(graph)``, memoized on ``(family, n, seed, oracle.name)``.
+
+        The caller vouches that ``graph`` *is* the ``(family, n, seed)``
+        member — normally it came out of :meth:`graph` — and that
+        ``oracle.name`` pins down the oracle's behaviour (true of every
+        oracle in the library: parametrized oracles such as
+        ``TruncatingOracle`` and ``DepthLimitedTreeOracle`` encode their
+        parameters in the name).
+        """
+        key = self.key("advice", family, n, seed, oracle.name)
+        cached = self._advice.get(key)
+        if cached is not None:
+            self.stats.hits += 1
+            return cached
+        text = self._load_text(key, "advice")
+        if text is not None:
+            advice = advice_from_json(text)
+            self.stats.hits += 1
+            self.stats.disk_hits += 1
+            self._advice[key] = advice
+            return advice
+        self.stats.misses += 1
+        advice = oracle.advise(graph)
+        self._advice[key] = advice
+        self._store(key, "advice", lambda: advice_to_json(advice))
+        return advice
+
+    # ------------------------------------------------------------------
+    # Disk layer
+    # ------------------------------------------------------------------
+    def _path(self, key: str, kind: str) -> str:
+        assert self.persist_dir is not None
+        return os.path.join(self.persist_dir, f"{key}.{kind}.json")
+
+    def _load_text(self, key: str, kind: str) -> Optional[str]:
+        if self.persist_dir is None:
+            return None
+        try:
+            with open(self._path(key, kind), "r", encoding="utf-8") as handle:
+                return handle.read()
+        except OSError:
+            return None
+
+    def _load_graph(self, key: str) -> Optional[PortLabeledGraph]:
+        text = self._load_text(key, "graph")
+        if text is None:
+            return None
+        try:
+            return serialization.from_json(text)
+        except (GraphError, ValueError, KeyError):
+            return None  # corrupt or stale entry: rebuild and overwrite
+
+    def _store(self, key: str, kind: str, render: Callable[[], str]) -> None:
+        """Write-through, atomically (temp file + rename), best effort.
+
+        Serialization limits (e.g. non-JSON node labels) and filesystem
+        errors silently degrade to memory-only caching — the cache must
+        never make a run fail that would have succeeded without it.
+        """
+        if self.persist_dir is None:
+            return
+        try:
+            text = render()
+        except (GraphError, TypeError, ValueError):
+            return
+        try:
+            os.makedirs(self.persist_dir, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=self.persist_dir, suffix=".tmp")
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(text)
+            os.replace(tmp, self._path(key, kind))
+            self.stats.disk_writes += 1
+        except OSError:
+            return
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._graphs) + len(self._advice)
+
+    def clear_memory(self) -> None:
+        """Drop the in-memory layer (the disk layer stays)."""
+        self._graphs.clear()
+        self._advice.clear()
+
+    def __repr__(self) -> str:
+        where = self.persist_dir or "memory"
+        return (
+            f"ConstructionCache({where}, entries={len(self)}, "
+            f"hits={self.stats.hits}, misses={self.stats.misses})"
+        )
+
+
+def resolve_cache(
+    cache: Optional[ConstructionCache], enabled: bool = True
+) -> Optional[ConstructionCache]:
+    """Normalize an optional cache argument.
+
+    ``cache`` itself when given; else a fresh in-memory cache when
+    ``enabled``, else ``None`` (caching off).  Mirrors
+    :func:`repro.obs.observe.resolve_obs` in spirit, but the "off" state
+    is ``None`` rather than a null object so hot paths can skip keying
+    entirely.
+    """
+    if cache is not None:
+        return cache
+    return ConstructionCache() if enabled else None

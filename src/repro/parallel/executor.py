@@ -1,0 +1,212 @@
+"""The parallel sweep/experiment executor: fan out, merge deterministically.
+
+Every cell of a sweep grid — build the ``(family, n)`` graph, compute
+advice, simulate, record a row — is independent of every other cell, so
+the grid fans out over a :class:`concurrent.futures.ProcessPoolExecutor`.
+What makes this executor more than ``pool.map`` is the **determinism
+contract**:
+
+* **Rows** come back in grid order — ``for family: for n:`` — regardless
+  of which worker finished first.
+* **Events**: each worker runs its cell against a private in-memory
+  :class:`~repro.obs.sinks.MemorySink` Observation and ships the captured
+  events home; the parent re-emits them into *its* Observation cell by
+  cell, in grid order.  Since metrics registries are pure folds of the
+  event stream (:func:`repro.obs.metrics.apply_event`), the parent's JSONL
+  trace **and** metrics registry end up byte-identical to a serial run at
+  the same seed.
+* **Fallback**: ``workers=1`` (the default when ``$REPRO_WORKERS`` is
+  unset) delegates to the exact in-process
+  :func:`repro.analysis.measure.sweep_families` path — the parallel module
+  adds no behaviour at concurrency one.
+
+Worker processes share a :class:`~repro.parallel.cache.ConstructionCache`
+through its picklable :class:`~repro.parallel.cache.CacheSpec`: each
+worker hydrates its own cache (cold in memory, warm on disk when the
+parent's cache persists), installed once per worker by the pool
+initializer.
+
+Wall-clock spans are the one thing deliberately *not* merged: the parent's
+``timings`` registry only times parent-side phases.  Timings are
+host-dependent and live outside the determinism guarantee (see
+:mod:`repro.obs.observe`).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..analysis.measure import (
+    Measurement,
+    measurement_keywords,
+    run_sweep_cell,
+    sweep_families,
+)
+from ..network.builders import FAMILY_BUILDERS
+from ..obs.events import Event
+from ..obs.observe import Observation, resolve_obs
+from ..obs.sinks import MemorySink
+from .cache import CacheSpec, ConstructionCache
+
+__all__ = [
+    "WORKERS_ENV",
+    "resolve_workers",
+    "parallel_sweep_families",
+    "run_experiments",
+]
+
+#: Environment variable supplying the default worker count.
+WORKERS_ENV = "REPRO_WORKERS"
+
+
+def resolve_workers(workers: Optional[int] = None) -> int:
+    """An explicit ``workers`` wins; else ``$REPRO_WORKERS``; else 1."""
+    if workers is None:
+        env = os.environ.get(WORKERS_ENV)
+        workers = int(env) if env else 1
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    return workers
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+#: The worker-process cache, installed by :func:`_init_worker`.  One per
+#: worker for the pool's lifetime, so repeated (family, n) cells within a
+#: worker hit memory and all workers share the parent's disk layer.
+_WORKER_CACHE: Optional[ConstructionCache] = None
+
+
+def _init_worker(cache_spec: Optional[CacheSpec]) -> None:
+    global _WORKER_CACHE
+    _WORKER_CACHE = cache_spec.build() if cache_spec is not None else None
+
+
+def _cell_task(
+    family: str, n: int, measurement: Measurement, want_events: bool
+) -> Tuple[Dict[str, Any], List[Event]]:
+    """Run one cell in a worker: returns (row, captured events)."""
+    if want_events:
+        sink = MemorySink()
+        obs = Observation(sink)
+    else:
+        sink = None
+        obs = resolve_obs(None)
+    row = run_sweep_cell(family, n, measurement, obs, cache=_WORKER_CACHE)
+    return row, (sink.events if sink is not None else [])
+
+
+def _check_picklable(value: Any, what: str) -> None:
+    try:
+        pickle.dumps(value)
+    except Exception as exc:
+        raise TypeError(
+            f"{what} must be picklable to cross a process boundary "
+            f"(use a module-level function or functools.partial of one, "
+            f"not a lambda or closure); pickling failed with: {exc}"
+        ) from exc
+
+
+# ----------------------------------------------------------------------
+# Parent side
+# ----------------------------------------------------------------------
+def parallel_sweep_families(
+    sizes: Sequence[int],
+    measurement: Measurement,
+    families: Optional[Iterable[str]] = None,
+    obs: Optional[Observation] = None,
+    workers: Optional[int] = None,
+    cache: Optional[ConstructionCache] = None,
+) -> List[Dict[str, Any]]:
+    """:func:`repro.analysis.sweep_families`, fanned over a process pool.
+
+    Accepts the sweep's exact arguments plus ``workers`` (default
+    ``$REPRO_WORKERS``, else 1 — which short-circuits to the serial
+    in-process path) and an optional ``cache``.  The determinism contract
+    is stated in the module docstring: rows, JSONL traces, and metrics
+    registries are byte-identical to a serial run at the same seed.
+
+    With ``workers > 1`` the measurement must be picklable; builder
+    lambdas never travel — workers look families up in their own
+    :data:`~repro.network.builders.FAMILY_BUILDERS`.
+    """
+    workers = resolve_workers(workers)
+    if workers == 1:
+        return sweep_families(
+            sizes, measurement, families=families, obs=obs, cache=cache
+        )
+    obs = resolve_obs(obs)
+    chosen = list(families) if families is not None else sorted(FAMILY_BUILDERS)
+    for family in chosen:
+        if family not in FAMILY_BUILDERS:
+            raise KeyError(family)
+    _check_picklable(measurement, "measurement")
+    cells = [(family, n) for family in chosen for n in sizes]
+    spec = cache.spec() if cache is not None else None
+    want_events = obs.enabled
+    # No span around the fan-out: spans emit events, and the parallel
+    # stream must stay byte-identical to the serial one.
+    rows: List[Dict[str, Any]] = []
+    with ProcessPoolExecutor(
+        max_workers=min(workers, max(1, len(cells))),
+        initializer=_init_worker,
+        initargs=(spec,),
+    ) as pool:
+        futures = [
+            pool.submit(_cell_task, family, n, measurement, want_events)
+            for family, n in cells
+        ]
+        # Merge in submission (= grid) order, not completion order.
+        for future in futures:
+            row, events = future.result()
+            rows.append(row)
+            for event in events:
+                obs.emit(event)
+    return rows
+
+
+def _experiment_task(experiment_id: str, kwargs: Dict[str, Any]):
+    from ..analysis.experiments import run_experiment
+
+    return run_experiment(experiment_id, cache=_WORKER_CACHE, **kwargs)
+
+
+def run_experiments(
+    ids: Sequence[str],
+    workers: Optional[int] = None,
+    cache: Optional[ConstructionCache] = None,
+    kwargs_by_id: Optional[Dict[str, Dict[str, Any]]] = None,
+) -> "Dict[str, Any]":
+    """Run several registry experiments, optionally across a process pool.
+
+    Experiments are coarser units than sweep cells — each is one E1-E14
+    registry entry — and embarrassingly parallel.  Results come back as an
+    ``{id: ExperimentResult}`` dict **in the requested order** whatever the
+    completion order, so ``repro experiment E1 E2 --workers 4`` prints
+    exactly what the serial CLI prints.  ``kwargs_by_id`` passes
+    per-experiment keyword arguments (e.g. ``{"E1": {"sizes": (8, 16)}}``).
+    """
+    kwargs_by_id = kwargs_by_id or {}
+    workers = resolve_workers(workers)
+    if workers == 1:
+        from ..analysis.experiments import run_experiment
+
+        return {
+            eid: run_experiment(eid, cache=cache, **kwargs_by_id.get(eid, {}))
+            for eid in ids
+        }
+    spec = cache.spec() if cache is not None else None
+    with ProcessPoolExecutor(
+        max_workers=min(workers, max(1, len(ids))),
+        initializer=_init_worker,
+        initargs=(spec,),
+    ) as pool:
+        futures = {
+            eid: pool.submit(_experiment_task, eid, kwargs_by_id.get(eid, {}))
+            for eid in ids
+        }
+        return {eid: future.result() for eid, future in futures.items()}

@@ -1,0 +1,314 @@
+"""The parallel executor's determinism contract, and the construction cache.
+
+The headline guarantee of :mod:`repro.parallel`: at the same seed, a
+parallel sweep produces **byte-identical** output to the serial one —
+the row list, the JSONL event trace, and the metrics registry all match
+exactly, for any worker count.  These tests state that contract as
+executable assertions over seeds {0, 1, 2} and workers {1, 2, 4}.
+
+The cache tests cover both layers (memory and disk), the stats
+accounting, and the picklable :class:`~repro.parallel.cache.CacheSpec`
+hand-off that worker processes rebuild their caches from.
+"""
+
+import functools
+import io
+import os
+
+import pytest
+
+from repro.analysis import sweep_families
+from repro.network import FAMILY_BUILDERS, path_graph
+from repro.obs import JSONLSink, MetricsRegistry, Observation
+from repro.oracles import LightTreeBroadcastOracle, SpanningTreeWakeupOracle
+from repro.parallel import (
+    ConstructionCache,
+    e1_e4_cell,
+    parallel_sweep_families,
+    resolve_cache,
+    resolve_workers,
+    run_experiments,
+)
+from repro.parallel.cache import CACHE_DIR_ENV, CacheSpec, default_cache_dir
+from repro.parallel.executor import WORKERS_ENV
+
+FAMILIES = ("path", "cycle", "complete")
+SIZES = (3, 6, 8)
+
+
+def _sweep(runner, seed, **kwargs):
+    """Run one observed sweep; return (rows, jsonl bytes, metrics snapshot)."""
+    stream = io.StringIO()
+    metrics = MetricsRegistry()
+    obs = Observation(JSONLSink(stream), metrics)
+    measurement = functools.partial(e1_e4_cell, seed=seed)
+    rows = runner(SIZES, measurement, families=FAMILIES, obs=obs, **kwargs)
+    return rows, stream.getvalue(), metrics.snapshot()
+
+
+# ----------------------------------------------------------------------
+# The determinism contract
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("workers", [1, 2, 4])
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_parallel_sweep_byte_identical_to_serial(seed, workers):
+    serial_rows, serial_jsonl, serial_metrics = _sweep(sweep_families, seed)
+    par_rows, par_jsonl, par_metrics = _sweep(
+        parallel_sweep_families, seed, workers=workers
+    )
+    assert par_rows == serial_rows
+    assert par_jsonl == serial_jsonl  # byte-for-byte, not just same events
+    assert par_metrics == serial_metrics
+    assert serial_jsonl  # the comparison wasn't vacuous
+
+
+def test_distinct_seeds_give_distinct_traces():
+    """Guard against the equivalence test passing because seed is ignored."""
+    _, jsonl0, _ = _sweep(sweep_families, 0)
+    _, jsonl1, _ = _sweep(sweep_families, 1)
+    assert jsonl0 != jsonl1
+
+
+def test_parallel_sweep_preserves_skipped_cells():
+    """Builder failures travel home as the same structured rows + events."""
+    sizes = (1, 6)  # complete(1) raises; cycle rounds 1 up to 3; path measures
+    measurement = functools.partial(e1_e4_cell, seed=0)
+
+    def observed(runner, **kwargs):
+        stream = io.StringIO()
+        obs = Observation(JSONLSink(stream))
+        rows = runner(sizes, measurement, families=FAMILIES, obs=obs, **kwargs)
+        return rows, stream.getvalue()
+
+    serial_rows, serial_jsonl = observed(sweep_families)
+    par_rows, par_jsonl = observed(parallel_sweep_families, workers=2)
+    assert par_rows == serial_rows
+    assert par_jsonl == serial_jsonl
+    skipped = [r for r in par_rows if r.get("skipped")]
+    assert {(r["family"], r["requested_n"]) for r in skipped} == {("complete", 1)}
+    assert skipped[0]["error"] == "GraphError"
+    # the cycle builder rounds n=1 up to its minimum: the row records both
+    rounded = next(r for r in par_rows if r["family"] == "cycle" and r["requested_n"] == 1)
+    assert rounded["n"] == 3
+
+
+def test_parallel_sweep_without_obs_matches_rows():
+    measurement = functools.partial(e1_e4_cell, seed=2)
+    serial = sweep_families(SIZES, measurement, families=FAMILIES)
+    par = parallel_sweep_families(SIZES, measurement, families=FAMILIES, workers=2)
+    assert par == serial
+
+
+def test_parallel_sweep_rejects_unpicklable_measurement():
+    with pytest.raises(TypeError, match="picklable"):
+        parallel_sweep_families(
+            (4,),
+            lambda family, n, graph: {"n": n},
+            families=("path",),
+            workers=2,
+        )
+
+
+def test_parallel_sweep_rejects_unknown_family():
+    with pytest.raises(KeyError):
+        parallel_sweep_families(
+            (4,), e1_e4_cell, families=("not_a_family",), workers=2
+        )
+
+
+def test_run_experiments_matches_serial_order_and_rows():
+    kwargs = {
+        "E1": {"sizes": (8,), "families": ("path", "cycle")},
+        "E3": {"sizes": (8, 12), "families": ("complete",)},
+    }
+    serial = run_experiments(["E1", "E3"], workers=1, kwargs_by_id=kwargs)
+    par = run_experiments(["E1", "E3"], workers=2, kwargs_by_id=kwargs)
+    assert list(par) == ["E1", "E3"]
+    assert [r.experiment for r in par.values()] == ["E1", "E3"]
+    for eid in kwargs:
+        assert par[eid].rows == serial[eid].rows
+
+
+# ----------------------------------------------------------------------
+# Worker-count resolution
+# ----------------------------------------------------------------------
+def test_resolve_workers_explicit_beats_env(monkeypatch):
+    monkeypatch.setenv(WORKERS_ENV, "8")
+    assert resolve_workers(2) == 2
+    assert resolve_workers() == 8
+    monkeypatch.delenv(WORKERS_ENV)
+    assert resolve_workers() == 1
+
+
+def test_resolve_workers_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        resolve_workers(0)
+
+
+def test_env_workers_used_by_sweep(monkeypatch):
+    monkeypatch.setenv(WORKERS_ENV, "2")
+    measurement = functools.partial(e1_e4_cell, seed=0)
+    par = parallel_sweep_families((4, 6), measurement, families=("path",))
+    serial = sweep_families((4, 6), measurement, families=("path",))
+    assert par == serial
+
+
+# ----------------------------------------------------------------------
+# Construction cache
+# ----------------------------------------------------------------------
+def test_cache_graph_memoizes_in_memory():
+    cache = ConstructionCache()
+    g1 = cache.graph("path", 6)
+    g2 = cache.graph("path", 6)
+    assert g1 is g2
+    assert cache.stats.hits == 1
+    assert cache.stats.misses == 1
+    assert cache.stats.disk_writes == 0
+    assert len(cache) == 1
+
+
+def test_cache_keys_distinguish_kind_family_n_seed_oracle():
+    keys = {
+        ConstructionCache.key("graph", "path", 6, None),
+        ConstructionCache.key("graph", "path", 6, 1),
+        ConstructionCache.key("graph", "path", 8, None),
+        ConstructionCache.key("graph", "cycle", 6, None),
+        ConstructionCache.key("advice", "path", 6, None),
+        ConstructionCache.key("advice", "path", 6, None, "SpanningTree(bfs)"),
+    }
+    assert len(keys) == 6
+
+
+def test_cache_advice_memoizes_and_matches_direct(tmp_path):
+    cache = ConstructionCache(persist_dir=str(tmp_path))
+    oracle = SpanningTreeWakeupOracle()
+    graph = cache.graph("complete", 8)
+    a1 = cache.advice("complete", 8, oracle, graph)
+    a2 = cache.advice("complete", 8, oracle, graph)
+    assert a1 is a2
+    direct = oracle.advise(graph)
+    assert a1.total_bits() == direct.total_bits()
+    for v in graph.nodes():
+        assert a1[v] == direct[v]
+
+
+def test_cache_disk_round_trip(tmp_path):
+    cold = ConstructionCache(persist_dir=str(tmp_path))
+    graph = cold.graph("cycle", 7, seed=3)
+    advice = cold.advice("cycle", 7, LightTreeBroadcastOracle(), graph, seed=3)
+    assert cold.stats.disk_writes == 2
+
+    warm = ConstructionCache(persist_dir=str(tmp_path))
+    g = warm.graph("cycle", 7, seed=3)
+    a = warm.advice("cycle", 7, LightTreeBroadcastOracle(), g, seed=3)
+    assert warm.stats.disk_hits == 2
+    assert warm.stats.misses == 0
+    assert g.num_nodes == graph.num_nodes
+    assert sorted(g.nodes()) == sorted(graph.nodes())
+    assert a.total_bits() == advice.total_bits()
+
+
+def test_cache_disk_layer_survives_clear_memory(tmp_path):
+    cache = ConstructionCache(persist_dir=str(tmp_path))
+    cache.graph("path", 5)
+    cache.clear_memory()
+    assert len(cache) == 0
+    cache.graph("path", 5)
+    assert cache.stats.disk_hits == 1
+    assert cache.stats.misses == 1  # only the original cold build
+
+
+def test_cache_builder_exception_propagates_uncached():
+    cache = ConstructionCache()
+
+    def boom():
+        raise RuntimeError("no such graph")
+
+    with pytest.raises(RuntimeError):
+        cache.graph("path", 6, builder=boom)
+    assert len(cache) == 0
+    # A later, working call still builds.
+    assert cache.graph("path", 6).num_nodes == 6
+
+
+def test_cache_unwritable_dir_degrades_to_memory(tmp_path):
+    target = tmp_path / "blocked"
+    target.write_text("a file, not a directory")
+    cache = ConstructionCache(persist_dir=str(target))
+    g = cache.graph("path", 5)
+    assert g.num_nodes == 5
+    assert cache.stats.disk_writes == 0
+    assert cache.graph("path", 5) is g  # memory layer still works
+
+
+def test_cache_spec_round_trip(tmp_path):
+    import pickle
+
+    spec = ConstructionCache(persist_dir=str(tmp_path)).spec()
+    rebuilt = pickle.loads(pickle.dumps(spec)).build()
+    assert rebuilt.persist_dir == str(tmp_path)
+    assert len(rebuilt) == 0  # memory layer starts cold
+    assert ConstructionCache().spec() == CacheSpec(persist_dir=None)
+
+
+def test_default_cache_dir_env_override(monkeypatch, tmp_path):
+    monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path))
+    assert default_cache_dir() == str(tmp_path)
+    monkeypatch.delenv(CACHE_DIR_ENV)
+    assert default_cache_dir().endswith(os.path.join(".cache", "repro"))
+
+
+def test_resolve_cache():
+    cache = ConstructionCache()
+    assert resolve_cache(cache) is cache
+    assert isinstance(resolve_cache(None), ConstructionCache)
+    assert resolve_cache(None, enabled=False) is None
+
+
+def test_cache_stats_accounting():
+    cache = ConstructionCache()
+    assert cache.stats.hit_rate is None
+    cache.graph("path", 4)
+    cache.graph("path", 4)
+    cache.graph("path", 5)
+    stats = cache.stats.as_dict()
+    assert stats["hits"] == 1
+    assert stats["misses"] == 2
+    assert stats["hit_rate"] == pytest.approx(1 / 3)
+
+
+# ----------------------------------------------------------------------
+# Cache + sweep integration
+# ----------------------------------------------------------------------
+def test_sweep_with_cache_matches_without():
+    measurement = functools.partial(e1_e4_cell, seed=1)
+    plain = sweep_families(SIZES, measurement, families=FAMILIES)
+    cache = ConstructionCache()
+    cached = sweep_families(SIZES, measurement, families=FAMILIES, cache=cache)
+    assert cached == plain
+    # graph per cell + two advice maps per cell, all built exactly once
+    assert cache.stats.misses == 3 * len(FAMILIES) * len(SIZES)
+    again = sweep_families(SIZES, measurement, families=FAMILIES, cache=cache)
+    assert again == plain
+    assert cache.stats.misses == 3 * len(FAMILIES) * len(SIZES)  # all warm now
+
+
+def test_parallel_sweep_with_persistent_cache_matches(tmp_path):
+    # Caching changes the trace relative to *no* cache (precomputed advice
+    # skips the oracle span), so the fixture on both sides is
+    # cache-against-cache: serial with a fresh in-memory cache, parallel
+    # with a persistent one.
+    serial_rows, serial_jsonl, serial_metrics = _sweep(
+        sweep_families, 0, cache=ConstructionCache()
+    )
+    cache = ConstructionCache(persist_dir=str(tmp_path))
+    par_rows, par_jsonl, par_metrics = _sweep(
+        parallel_sweep_families, 0, workers=2, cache=cache
+    )
+    assert par_rows == serial_rows
+    assert par_jsonl == serial_jsonl
+    assert par_metrics == serial_metrics
+    # workers shared the disk layer: a fresh cache can now load from it
+    warm = ConstructionCache(persist_dir=str(tmp_path))
+    warm.graph(FAMILIES[0], SIZES[0])
+    assert warm.stats.disk_hits == 1

@@ -1,0 +1,193 @@
+"""Seeded property tests: randomized inputs, fixed seeds, exact invariants.
+
+Three families of properties, each drawn from the paper's model:
+
+* **Port-relabeling invariance** — message counts of port-oblivious
+  algorithms (TreeWakeup's ``n - 1``, Flooding's ``2m - (n - 1)``) cannot
+  depend on how the adversary numbers the ports.
+* **Encode/decode round-trips** — every self-delimiting code in
+  :mod:`repro.encoding` inverts exactly on random payloads.
+* **Oracle-size monotonicity** — the constructive oracles' sizes are
+  nondecreasing in ``n`` on the structured families.
+
+Everything is seeded with ``random.Random``; no test here is flaky.
+"""
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.algorithms import Flooding, TreeWakeup, flooding_message_count
+from repro.core import NullOracle, run_broadcast, run_wakeup
+from repro.encoding import BitReader, BitString
+from repro.encoding.codes import (
+    decode_doubled,
+    decode_elias_delta,
+    decode_elias_gamma,
+    decode_paired_list,
+    encode_doubled,
+    encode_elias_delta,
+    encode_elias_gamma,
+    encode_paired_list,
+)
+from repro.encoding.portcodes import (
+    decode_children_ports,
+    decode_weight_list,
+    encode_children_ports,
+    encode_weight_list,
+)
+from repro.network import FAMILY_BUILDERS, PortLabeledGraph
+from repro.oracles import LightTreeBroadcastOracle, SpanningTreeWakeupOracle
+
+
+# ----------------------------------------------------------------------
+# Port-relabeling invariance
+# ----------------------------------------------------------------------
+def _connected_gnp(n: int, p: float, seed: int) -> "nx.Graph":
+    rng_seed = seed
+    while True:
+        g = nx.gnp_random_graph(n, p, seed=rng_seed)
+        if nx.is_connected(g):
+            return g
+        rng_seed += 1
+
+
+def _relabelings(base, source, seeds):
+    """The same underlying graph under several random port assignments."""
+    out = []
+    for s in seeds:
+        g = PortLabeledGraph.from_networkx(
+            base, source=source, port_order="random", rng=random.Random(s)
+        )
+        out.append(g.freeze())
+    return out
+
+
+@pytest.mark.parametrize(
+    "base",
+    [
+        _connected_gnp(12, 0.3, 7),
+        _connected_gnp(16, 0.25, 11),
+        nx.grid_2d_graph(3, 4),
+        nx.complete_graph(8),
+    ],
+    ids=["gnp12", "gnp16", "grid3x4", "k8"],
+)
+def test_tree_wakeup_messages_invariant_under_port_relabeling(base):
+    """TreeWakeup spends exactly n - 1 messages, however ports are numbered."""
+    source = next(iter(base.nodes()))
+    oracle = SpanningTreeWakeupOracle()
+    algorithm = TreeWakeup()
+    for g in _relabelings(base, source, range(6)):
+        result = run_wakeup(g, oracle, algorithm)
+        assert result.success
+        assert result.messages == g.num_nodes - 1
+
+
+@pytest.mark.parametrize(
+    "base",
+    [
+        _connected_gnp(12, 0.3, 7),
+        _connected_gnp(14, 0.35, 21),
+        nx.grid_2d_graph(3, 4),
+        nx.complete_graph(8),
+    ],
+    ids=["gnp12", "gnp14", "grid3x4", "k8"],
+)
+def test_flooding_messages_invariant_under_port_relabeling(base):
+    """Flooding's count is a function of (n, m) only: 2m - (n - 1)."""
+    source = next(iter(base.nodes()))
+    counts = set()
+    for g in _relabelings(base, source, range(6)):
+        result = run_broadcast(g, NullOracle(), Flooding())
+        assert result.success
+        assert result.messages == flooding_message_count(g.num_nodes, g.num_edges)
+        counts.add(result.messages)
+    assert len(counts) == 1
+
+
+def test_spanning_tree_advice_total_invariant_on_complete_graph():
+    """On K_n every port relabeling is an automorphism, so even the
+    *oracle size* (not just the message count) must agree."""
+    base = nx.complete_graph(9)
+    sizes = {
+        SpanningTreeWakeupOracle().size_on(g)
+        for g in _relabelings(base, 0, range(5))
+    }
+    assert len(sizes) == 1
+
+
+# ----------------------------------------------------------------------
+# Encode/decode round-trips
+# ----------------------------------------------------------------------
+def test_children_ports_round_trip_random():
+    rng = random.Random(2026)
+    for _ in range(200):
+        n = rng.randint(2, 400)
+        num_children = rng.randint(0, 8)
+        ports = [rng.randint(0, n - 2) for _ in range(num_children)]
+        advice = encode_children_ports(ports, n)
+        assert decode_children_ports(advice) == ports
+        if not ports:
+            assert len(advice) == 0
+
+
+def test_weight_list_round_trip_random():
+    rng = random.Random(404)
+    for _ in range(200):
+        weights = [rng.randint(0, 2**16) for _ in range(rng.randint(0, 12))]
+        assert decode_weight_list(encode_weight_list(weights)) == weights
+
+
+def test_paired_list_round_trip_random():
+    rng = random.Random(505)
+    for _ in range(200):
+        values = [rng.randint(0, 2**20) for _ in range(rng.randint(0, 12))]
+        assert decode_paired_list(encode_paired_list(values)) == values
+
+
+def test_doubled_code_round_trip_random():
+    rng = random.Random(606)
+    for _ in range(200):
+        value = rng.randint(0, 2**24)
+        reader = BitReader(encode_doubled(value))
+        assert decode_doubled(reader) == value
+        assert reader.exhausted()
+
+
+@pytest.mark.parametrize(
+    "encode,decode",
+    [
+        (encode_elias_gamma, decode_elias_gamma),
+        (encode_elias_delta, decode_elias_delta),
+    ],
+    ids=["gamma", "delta"],
+)
+def test_elias_codes_round_trip_concatenated(encode, decode):
+    """Elias codes are self-delimiting: a concatenated stream of many
+    codewords parses back to the original sequence."""
+    rng = random.Random(707)
+    values = [rng.randint(1, 2**18) for _ in range(300)]
+    stream = BitString.concat(encode(v) for v in values)
+    reader = BitReader(stream)
+    assert [decode(reader) for _ in values] == values
+    assert reader.exhausted()
+
+
+# ----------------------------------------------------------------------
+# Oracle-size monotonicity
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("family", ["path", "cycle", "complete", "star"])
+@pytest.mark.parametrize(
+    "oracle",
+    [SpanningTreeWakeupOracle(), LightTreeBroadcastOracle()],
+    ids=lambda o: type(o).__name__,
+)
+def test_oracle_size_monotone_in_n(family, oracle):
+    """On the structured families, a bigger network never needs *less*
+    advice from the constructive oracles."""
+    builder = FAMILY_BUILDERS[family]
+    sizes = [oracle.size_on(builder(n)) for n in (4, 6, 8, 12, 16, 24)]
+    assert sizes == sorted(sizes)
+    assert sizes[-1] > sizes[0]  # and it genuinely grows
