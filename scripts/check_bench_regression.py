@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Gate engine performance: compare a fresh BENCH_engine.json to the baseline.
+
+Usage:
+
+    python scripts/check_bench_regression.py BASELINE FRESH [--tolerance 0.25]
+
+Both files are ``repro-bench/1`` exports (``python -m repro bench-export``).
+The check reads the ``*_fast_ns`` and ``*_counters_ns`` per-delivery keys
+out of ``test_engine_per_delivery``'s ``extra_info`` and fails (exit 1)
+if any fresh number exceeds its baseline by more than ``tolerance``
+(default 25% — wide on purpose: CI containers are noisy single-CPU
+hosts, and the fast path's margin over legacy is >2x, so a genuine
+regression clears 25% long before it threatens the headline claim).
+
+Legacy-path numbers (``*_legacy_ns``) are reported but never gated: the
+legacy loop is the frozen reference implementation, and its cost only
+moves when the host does.  Getting *faster* is always fine — the
+baseline is a ceiling, not a pin; refresh the committed baseline when
+improvements make it stale.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict
+
+BENCH_NAME = "test_engine_per_delivery"
+GATED_SUFFIXES = ("_fast_ns", "_counters_ns")
+
+
+def per_delivery_numbers(path: str) -> Dict[str, float]:
+    """The gated per-delivery keys from one repro-bench/1 export."""
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    schema = data.get("schema")
+    if schema != "repro-bench/1":
+        raise SystemExit(f"{path}: unexpected schema {schema!r}")
+    for bench in data.get("benchmarks", []):
+        if bench.get("name") == BENCH_NAME:
+            info = bench.get("extra_info", {})
+            return {
+                key: float(value)
+                for key, value in info.items()
+                if key.endswith(GATED_SUFFIXES) or key.endswith("_legacy_ns")
+            }
+    raise SystemExit(f"{path}: no {BENCH_NAME} record")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="committed BENCH_engine.json")
+    parser.add_argument("fresh", help="just-measured BENCH_engine.json")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="allowed fractional slowdown before failing (default 0.25)",
+    )
+    args = parser.parse_args(argv)
+
+    base = per_delivery_numbers(args.baseline)
+    fresh = per_delivery_numbers(args.fresh)
+    failures = []
+    for key in sorted(base):
+        if key not in fresh:
+            failures.append(f"{key}: missing from fresh run")
+            continue
+        ratio = fresh[key] / base[key]
+        gated = key.endswith(GATED_SUFFIXES)
+        verdict = "ok"
+        if gated and ratio > 1.0 + args.tolerance:
+            verdict = "REGRESSION"
+            failures.append(
+                f"{key}: {fresh[key]:.0f}ns vs baseline {base[key]:.0f}ns "
+                f"({ratio - 1.0:+.0%})"
+            )
+        elif not gated:
+            verdict = "info"
+        print(
+            f"{key:42s} {base[key]:9.0f}ns -> {fresh[key]:9.0f}ns "
+            f"({ratio - 1.0:+6.0%}) [{verdict}]"
+        )
+    for key in sorted(set(fresh) - set(base)):
+        print(f"{key:42s} (new key, not in baseline: {fresh[key]:.0f}ns) [info]")
+
+    if failures:
+        print(
+            f"\nFAIL: {len(failures)} per-delivery metric(s) regressed beyond "
+            f"{args.tolerance:.0%}:",
+            file=sys.stderr,
+        )
+        for line in failures:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print(f"\nok: per-delivery cost within {args.tolerance:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -14,6 +14,7 @@ MODULES = [
     "repro.network",
     "repro.encoding",
     "repro.simulator",
+    "repro.fastpath",
     "repro.core",
     "repro.oracles",
     "repro.algorithms",

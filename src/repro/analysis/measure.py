@@ -169,7 +169,8 @@ def run_pair(
 ) -> TaskResult:
     """Run one (oracle, algorithm) pair; ``task`` is ``broadcast``/``wakeup``.
 
-    Keyword arguments (including ``obs=`` for telemetry) pass straight
+    Keyword arguments (including ``obs=`` for telemetry and
+    ``trace_level="counters"`` for log-free counting runs) pass straight
     through to :func:`repro.core.run_broadcast` / :func:`repro.core.run_wakeup`.
     """
     if task == "broadcast":

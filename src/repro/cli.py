@@ -197,6 +197,7 @@ def _cmd_trace(
     seed: int,
     out: str,
     audit: bool,
+    trace_level: str = "full",
 ) -> int:
     from .algorithms import ALGORITHM_REGISTRY
     from .analysis.tables import format_table
@@ -205,6 +206,12 @@ def _cmd_trace(
     from .obs import JSONLSink, Observation
     from .simulator.schedulers import make_scheduler
 
+    if audit and trace_level != "full":
+        print(
+            "error: --audit replays the delivery log and needs --trace-level full",
+            file=sys.stderr,
+        )
+        return 2
     try:
         graph = FAMILY_BUILDERS[family](n)
     except KeyError:
@@ -235,6 +242,7 @@ def _cmd_trace(
             scheduler=make_scheduler(scheduler_name, seed),
             audit=audit,
             obs=obs,
+            trace_level=trace_level,
         )
         events = obs.sink.count
     s = result.trace.summary()
@@ -370,6 +378,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_trace.add_argument(
         "--audit", action="store_true", help="replay-audit the run after quiescence"
     )
+    p_trace.add_argument(
+        "--trace-level",
+        choices=("full", "counters"),
+        default="full",
+        help="'counters' skips the per-delivery log (incompatible with --audit); "
+        "the exported JSONL event stream is identical either way",
+    )
 
     p_stats = sub.add_parser(
         "stats", help="summarize a saved JSONL trace (tables, metrics, growth fits)"
@@ -416,7 +431,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "trace":
         return _cmd_trace(
             args.task, args.family, args.n, args.oracle, args.algorithm,
-            args.scheduler, args.seed, args.out, args.audit,
+            args.scheduler, args.seed, args.out, args.audit, args.trace_level,
         )
     if args.command == "stats":
         return _cmd_stats(args.path)

@@ -90,8 +90,13 @@ def _run(
     advice: Optional[AdviceMap],
     audit: bool = False,
     obs: Optional[Observation] = None,
+    trace_level: str = "full",
 ) -> TaskResult:
     obs = resolve_obs(obs)
+    if audit and trace_level != "full":
+        raise ValueError(
+            "audit=True replays the delivery log and requires trace_level='full'"
+        )
     if not graph.frozen:
         graph = graph.copy().freeze()
     if advice is None:
@@ -129,6 +134,7 @@ def _run(
         wakeup=wakeup,
         max_messages=max_messages,
         obs=obs,
+        trace_level=trace_level,
     )
     with obs.span("simulate"):
         trace = sim.run()
@@ -183,6 +189,7 @@ def run_broadcast(
     advice: Optional[AdviceMap] = None,
     audit: bool = False,
     obs: Optional[Observation] = None,
+    trace_level: str = "full",
 ) -> TaskResult:
     """Run a broadcast: nodes may transmit spontaneously.
 
@@ -193,11 +200,13 @@ def run_broadcast(
     call (the static half is ``python -m repro lint``).  ``obs`` threads an
     :class:`repro.obs.Observation` through the whole pipeline: phase spans
     (oracle/simulate/audit), the advice-size event, and the engine's
-    send/delivery stream.
+    send/delivery stream.  ``trace_level="counters"`` skips the per-delivery
+    log (see :mod:`repro.simulator.trace`); it is incompatible with
+    ``audit=True``, which replays that log.
     """
     return _run(
         "broadcast", graph, oracle, algorithm, scheduler, anonymous, False, max_messages,
-        advice, audit, obs,
+        advice, audit, obs, trace_level,
     )
 
 
@@ -211,6 +220,7 @@ def run_wakeup(
     advice: Optional[AdviceMap] = None,
     audit: bool = False,
     obs: Optional[Observation] = None,
+    trace_level: str = "full",
 ) -> TaskResult:
     """Run a wakeup: the engine *enforces* that only awake nodes transmit.
 
@@ -223,5 +233,5 @@ def run_wakeup(
     """
     return _run(
         "wakeup", graph, oracle, algorithm, scheduler, anonymous, True, max_messages,
-        advice, audit, obs,
+        advice, audit, obs, trace_level,
     )

@@ -77,6 +77,26 @@ def decode_fixed(reader: BitReader, width: int) -> int:
 # ----------------------------------------------------------------------
 # Doubled-bit self-delimiting code (Theorem 2.1's "beta" sequence)
 # ----------------------------------------------------------------------
+
+#: ``_SPREAD[b]`` moves bit ``i`` of byte ``b`` to bit position ``2i`` —
+#: the byte-at-a-time table behind :func:`encode_doubled` and
+#: :func:`encode_paired`, which both interleave data bits with flag bits.
+_SPREAD = tuple(
+    sum(((b >> i) & 1) << (2 * i) for i in range(8)) for b in range(256)
+)
+
+
+def _spread(value: int) -> int:
+    """Spread ``value``'s bits to even positions, one table lookup per byte."""
+    out = 0
+    shift = 0
+    while value:
+        out |= _SPREAD[value & 0xFF] << shift
+        value >>= 8
+        shift += 16
+    return out
+
+
 def encode_doubled(value: int) -> BitString:
     """Encode ``value`` as ``b1 b1 ... br br 1 0`` (self-delimiting).
 
@@ -84,13 +104,11 @@ def encode_doubled(value: int) -> BitString:
     there to announce the field width ``ceil(log n)``.  Length is
     ``2 * #2(value) + 2``.
     """
-    bits: List[int] = []
-    for bit in encode_binary(value):
-        bits.append(bit)
-        bits.append(bit)
-    bits.append(1)
-    bits.append(0)
-    return BitString(bits)
+    width = code_length(value)
+    # Doubling every bit puts bit i at positions 2i and 2i+1 (= spread * 3);
+    # the trailing unequal pair '10' is the terminator.
+    doubled = (_spread(value) * 3) << 2 | 0b10
+    return BitString.from_int(doubled, 2 * width + 2)
 
 
 def decode_doubled(reader: BitReader) -> int:
@@ -121,13 +139,12 @@ def encode_paired(value: int) -> BitString:
     that ``t`` weights can be packed into one string of length
     ``2 * sum_i #2(w_i)``.
     """
-    raw = encode_binary(value)
-    bits: List[int] = []
-    last = len(raw) - 1
-    for i, bit in enumerate(raw):
-        bits.append(bit)
-        bits.append(0 if i == last else 1)
-    return BitString(bits)
+    width = code_length(value)
+    # Data bits land at odd positions (spread << 1); continuation flags are
+    # 1 at even positions 2..2(width-1) and 0 at position 0 — that mask is
+    # the base-4 repunit (4^width - 4) / 3.
+    paired = (_spread(value) << 1) | (((1 << (2 * width)) - 4) // 3)
+    return BitString.from_int(paired, 2 * width)
 
 
 def decode_paired(reader: BitReader) -> int:
@@ -140,8 +157,12 @@ def decode_paired(reader: BitReader) -> int:
 
 
 def encode_paired_list(values: Iterable[int]) -> BitString:
-    """Pack many integers with :func:`encode_paired` into one string."""
-    return BitString.concat(encode_paired(v) for v in values)
+    """Pack many integers with :func:`encode_paired` into one string.
+
+    Uses :meth:`BitString.join` (integer shifts, O(total bits)) so the
+    oracle builders never pay quadratic repeated concatenation.
+    """
+    return BitString.empty().join(encode_paired(v) for v in values)
 
 
 def decode_paired_list(bits: BitString) -> List[int]:

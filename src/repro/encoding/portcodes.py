@@ -28,6 +28,7 @@ from .codes import (
     decode_paired,
     encode_doubled,
     encode_fixed,
+    encode_paired,
 )
 
 __all__ = [
@@ -69,7 +70,7 @@ def encode_children_ports(ports: Sequence[int], n: int) -> BitString:
         if port < 0:
             raise ValueError("port numbers are non-negative")
         parts.append(encode_fixed(port, width))
-    return BitString.concat(parts)
+    return BitString.empty().join(parts)
 
 
 def decode_children_ports(advice: BitString) -> List[int]:
@@ -101,19 +102,16 @@ def children_ports_code_length(num_children: int, n: int) -> int:
 
 
 def encode_weight_list(weights: Sequence[int]) -> BitString:
-    """Pack edge weights into ``2 * sum_i #2(w_i)`` bits (Theorem 3.1 advice)."""
-    parts: List[BitString] = []
+    """Pack edge weights into ``2 * sum_i #2(w_i)`` bits (Theorem 3.1 advice).
+
+    Each weight is a paired-continuation codeword
+    (:func:`repro.encoding.codes.encode_paired`, table-driven rather than
+    bit-by-bit); the codewords are concatenated by integer shifts.
+    """
     for weight in weights:
         if weight < 0:
             raise ValueError("weights are non-negative")
-        raw_width = code_length(weight)
-        bits: List[int] = []
-        value = weight
-        for i in range(raw_width - 1, -1, -1):
-            bits.append((value >> i) & 1)
-            bits.append(1 if i > 0 else 0)
-        parts.append(BitString(bits))
-    return BitString.concat(parts)
+    return BitString.concat(encode_paired(w) for w in weights)
 
 
 def decode_weight_list(advice: BitString) -> List[int]:

@@ -1,0 +1,32 @@
+"""Compiled execution core: the simulation fast path.
+
+:class:`repro.simulator.Simulation` transparently dispatches here unless
+``REPRO_FASTPATH=0`` is set in the environment.  The package has two
+halves:
+
+* :mod:`repro.fastpath.topology` — :class:`CompiledTopology`, the
+  flat-array (CSR-style) form of a frozen
+  :class:`~repro.network.graph.PortLabeledGraph`: nodes mapped to dense
+  ``0..n-1`` indices, neighbor-via-port and arrival-port lookups turned
+  into two flat-array indexings.  Compiled at ``freeze()`` time and cached
+  on the graph.
+* :mod:`repro.fastpath.engine` — :func:`run_fastpath`, the optimized
+  execution loops.  Synchronous runs use a scheduler-free round-batched
+  core over plain tuples; every other scheduler gets a generic loop that
+  still benefits from the compiled lookups.
+
+The correctness contract (enforced by ``tests/test_fastpath.py``): at
+``trace_level="full"`` the fast path is **byte-identical** to the legacy
+path — same :class:`~repro.simulator.trace.ExecutionTrace`, same obs event
+stream, same JSONL — for every scheduler.  See ``docs/PERFORMANCE.md``.
+"""
+
+from .engine import run_fastpath
+from .topology import CompiledTopology, compile_topology, compiled_topology
+
+__all__ = [
+    "CompiledTopology",
+    "compile_topology",
+    "compiled_topology",
+    "run_fastpath",
+]

@@ -1,0 +1,519 @@
+"""The compiled execution loops.
+
+:func:`run_fastpath` is what :meth:`repro.simulator.Simulation.run`
+dispatches to unless ``REPRO_FASTPATH=0``.  Two loops live here:
+
+* :func:`_run_sync` — the scheduler-free synchronous core.  Messages are
+  plain tuples ``(repr(receiver), arrival_port, seq, receiver_idx,
+  payload, sender_label, send_port, sender_informed)`` binned by round;
+  sorting a round's list once reproduces exactly the order the legacy
+  heap (key ``(deliver_at, repr(receiver), arrival_port, seq)``) would
+  deliver in, because ``seq`` is globally unique.  No
+  ``InFlightMessage`` is allocated for a delivered message — only
+  messages left in flight when the run stops are materialized, so the
+  trace's ``undelivered`` list is byte-identical to the legacy one.
+* :func:`_run_generic` — every other scheduler.  The scheduler protocol
+  needs real :class:`~repro.simulator.messages.InFlightMessage` objects,
+  so the loop keeps them but replaces the two nested-dict topology walks
+  per send with two flat-array indexings.
+
+Both loops honor ``trace_level``: at ``"full"`` they maintain the
+delivery log and per-node histories exactly as the legacy loop does (the
+byte-identity contract); at ``"counters"`` they skip the per-delivery
+:class:`~repro.simulator.trace.DeliveryRecord` and history appends and
+maintain the per-round histogram instead.  The obs event stream is
+identical at every trace level — observability is a separate axis from
+trace retention.
+
+This module is a *friend* of :class:`~repro.simulator.engine.Simulation`:
+it reads the simulation's private configuration and writes its trace.
+Behavioral changes must be made in lockstep with
+``Simulation._run_legacy`` — the equivalence suite will catch you if
+they drift.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..obs.events import (
+    LimitHit,
+    MessageDelivered,
+    MessageSent,
+    RoundStarted,
+    RunEnded,
+    RunStarted,
+)
+from ..simulator.messages import InFlightMessage
+from ..simulator.node import WakeupViolation
+from ..simulator.schedulers import SynchronousScheduler
+from ..simulator.trace import DeliveryRecord
+from .topology import compiled_topology
+
+__all__ = ["run_fastpath"]
+
+
+def run_fastpath(sim) -> "ExecutionTrace":  # noqa: F821 - forward ref in doc only
+    """Execute a prepared :class:`~repro.simulator.Simulation` to quiescence.
+
+    Chooses the scheduler-free synchronous core when the simulation uses a
+    plain :class:`SynchronousScheduler` (the overwhelmingly common case),
+    and the generic compiled loop otherwise.
+    """
+    topo = compiled_topology(sim._graph)
+    scheduler = sim._scheduler
+    if type(scheduler) is SynchronousScheduler and scheduler.empty():
+        return _run_sync(sim, topo)
+    return _run_generic(sim, topo)
+
+
+def _emit_run_started(sim) -> None:
+    sim._obs.emit(
+        RunStarted(
+            task="wakeup" if sim._wakeup else "broadcast",
+            nodes=sim._graph.num_nodes,
+            edges=sim._graph.num_edges,
+            source=sim._graph.source,
+            scheduler=type(sim._scheduler).__name__,
+            anonymous=sim._anonymous,
+            wakeup=sim._wakeup,
+        )
+    )
+
+
+def _run_sync(sim, topo):
+    trace = sim._trace
+    obs = sim._obs
+    enabled = obs.enabled
+    emit = obs.emit
+    full = sim._trace_level == "full"
+    wakeup = sim._wakeup
+    max_messages = sim._max_messages
+    max_steps = sim._max_steps
+    stop_when_informed = sim._stop_when_informed
+
+    labels = topo.labels
+    reprs = topo.reprs
+    offsets = topo.offsets
+    neighbor_at = topo.neighbor_at
+    arrival_at = topo.arrival_at
+    n = len(labels)
+    runtimes = [sim._runtimes[label] for label in labels]
+    contexts = [rt.context for rt in runtimes]
+    processes = [rt.process for rt in runtimes]
+
+    informed_at = trace.informed_at
+    deliveries_append = trace.deliveries.append
+    round_counts = trace.round_counts
+
+    if enabled:
+        _emit_run_started(sim)
+    if not sim._no_source:
+        informed_at[sim._graph.source] = 0
+
+    seq = 0
+    messages_sent = 0
+    delivered = 0
+    step = 0
+    limit_hit = trace.message_limit_hit
+
+    def enqueue(i: int, sends, deliver_at: int, out: List[Tuple]) -> None:
+        """Turn one drain's send requests into round-``deliver_at`` tuples.
+
+        Mirrors ``Simulation._enqueue`` exactly: the message limit is
+        checked *before* each send, tripping it drops the rest of this
+        drain and emits one LimitHit.
+        """
+        nonlocal seq, messages_sent, limit_hit
+        rt = runtimes[i]
+        base = offsets[i]
+        sender_label = labels[i]
+        informed_flag = rt.informed
+        for request in sends:
+            if max_messages is not None and messages_sent >= max_messages:
+                limit_hit = True
+                trace.message_limit_hit = True
+                if enabled:
+                    emit(
+                        LimitHit(
+                            reason="message limit reached",
+                            messages_sent=messages_sent,
+                            step=delivered,
+                        )
+                    )
+                return
+            port = request.port
+            j = neighbor_at[base + port]
+            aport = arrival_at[base + port]
+            seq += 1
+            messages_sent += 1
+            rt.sent_count += 1
+            out.append(
+                (
+                    reprs[j],
+                    aport,
+                    seq,
+                    j,
+                    request.payload,
+                    sender_label,
+                    port,
+                    informed_flag,
+                )
+            )
+            if enabled:
+                emit(
+                    MessageSent(
+                        seq=seq,
+                        sender=sender_label,
+                        receiver=labels[j],
+                        send_port=port,
+                        arrival_port=aport,
+                        payload=request.payload,
+                        sender_informed=informed_flag,
+                        round=deliver_at,
+                    )
+                )
+
+    # ------------------------------------------------------------------
+    # Init phase: every process sees the empty history (graph node order).
+    # ------------------------------------------------------------------
+    pending: List[Tuple] = []
+    for i in range(n):
+        ctx = contexts[i]
+        processes[i].on_init(ctx)
+        sends = ctx._outbox
+        if sends:
+            ctx._outbox = []
+            if wakeup and not ctx.is_source:
+                raise WakeupViolation(
+                    f"node {labels[i]!r} transmitted on an empty history "
+                    "during a wakeup"
+                )
+            enqueue(i, sends, 1, pending)
+
+    # ------------------------------------------------------------------
+    # Round loop.
+    # ------------------------------------------------------------------
+    round_no = 1
+    rounds_seen = trace.rounds
+    leftover: List[Tuple] = []
+    leftover_next: List[Tuple] = []
+    stopped = False
+    while pending:
+        pending.sort()
+        if limit_hit or stopped:
+            leftover = pending
+            break
+        nxt: List[Tuple] = []
+        count = len(pending)
+        idx = 0
+        broke = False
+        while idx < count:
+            if max_steps is not None and step >= max_steps:
+                limit_hit = True
+                trace.message_limit_hit = True
+                if enabled:
+                    emit(
+                        LimitHit(
+                            reason="step limit reached",
+                            messages_sent=messages_sent,
+                            step=delivered,
+                        )
+                    )
+                broke = True
+                break
+            rrepr, aport, mseq, j, payload, sender_label, sport, s_informed = pending[
+                idx
+            ]
+            idx += 1
+            step += 1
+            if full:
+                deliveries_append(
+                    DeliveryRecord(
+                        step,
+                        payload,
+                        sender_label,
+                        labels[j],
+                        sport,
+                        aport,
+                        s_informed,
+                        round_no,
+                    )
+                )
+            else:
+                round_counts[round_no] = round_counts.get(round_no, 0) + 1
+            if round_no > rounds_seen:
+                if enabled:
+                    emit(RoundStarted(round=round_no))
+                rounds_seen = round_no
+            rt = runtimes[j]
+            delivered += 1
+            rt.received_count += 1
+            if full:
+                rt.history.append((payload, aport))
+            newly_informed = s_informed and not rt.informed
+            if newly_informed:
+                rt.informed = True
+                rt.informed_at = step
+                informed_at[labels[j]] = step
+            if enabled:
+                emit(
+                    MessageDelivered(
+                        step=step,
+                        seq=mseq,
+                        sender=sender_label,
+                        receiver=labels[j],
+                        arrival_port=aport,
+                        payload=payload,
+                        round=round_no,
+                        newly_informed=newly_informed,
+                    )
+                )
+            ctx = contexts[j]
+            processes[j].on_receive(ctx, payload, aport)
+            sends = ctx._outbox
+            if sends:
+                ctx._outbox = []
+                enqueue(j, sends, round_no + 1, nxt)
+            if stop_when_informed and len(informed_at) == n:
+                stopped = True
+                broke = True
+                break
+            if limit_hit:
+                broke = True
+                break
+        if broke:
+            leftover = pending[idx:]
+            leftover_next = nxt
+            break
+        pending = nxt
+        round_no += 1
+
+    # ------------------------------------------------------------------
+    # Wind-down: counters, undelivered (heap drain order), outputs.
+    # ------------------------------------------------------------------
+    trace.messages_sent = messages_sent
+    trace.delivered = delivered
+    trace.rounds = rounds_seen
+    trace.message_limit_hit = limit_hit
+    trace.completed = not leftover and not leftover_next and not limit_hit
+    sim._seq = seq
+    if leftover or leftover_next:
+        leftover_next.sort()
+        undelivered = trace.undelivered
+        for deliver_at, batch in ((round_no, leftover), (round_no + 1, leftover_next)):
+            for t in batch:
+                undelivered.append(
+                    InFlightMessage(
+                        payload=t[4],
+                        sender=t[5],
+                        receiver=labels[t[3]],
+                        send_port=t[6],
+                        arrival_port=t[1],
+                        sender_informed=t[7],
+                        seq=t[2],
+                        deliver_at=deliver_at,
+                    )
+                )
+    outputs = trace.outputs
+    for i in range(n):
+        ctx = contexts[i]
+        if ctx._has_output:
+            outputs[labels[i]] = ctx._output
+    if enabled:
+        emit(
+            RunEnded(
+                messages=messages_sent,
+                delivered=delivered,
+                rounds=trace.rounds,
+                informed=len(informed_at),
+                nodes=n,
+                undelivered=len(trace.undelivered),
+                completed=trace.completed,
+                limit_hit=limit_hit,
+            )
+        )
+    return trace
+
+
+def _run_generic(sim, topo):
+    """Compiled loop for arbitrary schedulers.
+
+    Identical control flow to ``Simulation._run_legacy``; the only changes
+    are the flat-array neighbor/arrival lookups in the enqueue step and the
+    trace-level gating shared with the synchronous core.
+    """
+    trace = sim._trace
+    obs = sim._obs
+    enabled = obs.enabled
+    emit = obs.emit
+    full = sim._trace_level == "full"
+    scheduler = sim._scheduler
+    max_messages = sim._max_messages
+    max_steps = sim._max_steps
+    stop_when_informed = sim._stop_when_informed
+    graph = sim._graph
+    runtimes = sim._runtimes
+
+    index = topo.index
+    labels = topo.labels
+    offsets = topo.offsets
+    neighbor_at = topo.neighbor_at
+    arrival_at = topo.arrival_at
+    n = len(labels)
+
+    informed_at = trace.informed_at
+    deliveries = trace.deliveries
+    round_counts = trace.round_counts
+
+    if enabled:
+        _emit_run_started(sim)
+    if not sim._no_source:
+        informed_at[graph.source] = 0
+
+    limit_hit = trace.message_limit_hit
+
+    def enqueue(runtime, sends, deliver_at: int) -> bool:
+        nonlocal limit_hit
+        base = offsets[index[runtime.label]]
+        informed_flag = runtime.informed
+        sender_label = runtime.label
+        for request in sends:
+            if max_messages is not None and trace.messages_sent >= max_messages:
+                limit_hit = True
+                trace.message_limit_hit = True
+                if enabled:
+                    emit(
+                        LimitHit(
+                            reason="message limit reached",
+                            messages_sent=trace.messages_sent,
+                            step=trace.delivered,
+                        )
+                    )
+                return True
+            port = request.port
+            receiver = labels[neighbor_at[base + port]]
+            sim._seq += 1
+            msg = InFlightMessage(
+                payload=request.payload,
+                sender=sender_label,
+                receiver=receiver,
+                send_port=port,
+                arrival_port=arrival_at[base + port],
+                sender_informed=informed_flag,
+                seq=sim._seq,
+                deliver_at=deliver_at,
+            )
+            runtime.sent_count += 1
+            trace.messages_sent += 1
+            scheduler.push(msg)
+            if enabled:
+                emit(
+                    MessageSent(
+                        seq=msg.seq,
+                        sender=msg.sender,
+                        receiver=msg.receiver,
+                        send_port=msg.send_port,
+                        arrival_port=msg.arrival_port,
+                        payload=msg.payload,
+                        sender_informed=msg.sender_informed,
+                        round=deliver_at,
+                    )
+                )
+        return False
+
+    for v, runtime in runtimes.items():
+        runtime.process.on_init(runtime.context)
+        sends = runtime.context.drain()
+        if sends and sim._wakeup and not runtime.context.is_source:
+            raise WakeupViolation(
+                f"node {v!r} transmitted on an empty history during a wakeup"
+            )
+        enqueue(runtime, sends, 1)
+
+    step = 0
+    limit_hit = limit_hit or trace.message_limit_hit
+    while not scheduler.empty():
+        if limit_hit:
+            break
+        if max_steps is not None and step >= max_steps:
+            limit_hit = True
+            trace.message_limit_hit = True
+            if enabled:
+                emit(
+                    LimitHit(
+                        reason="step limit reached",
+                        messages_sent=trace.messages_sent,
+                        step=trace.delivered,
+                    )
+                )
+            break
+        msg = scheduler.pop()
+        step += 1
+        receiver = runtimes[msg.receiver]
+        if full:
+            deliveries.append(
+                DeliveryRecord(
+                    step=step,
+                    payload=msg.payload,
+                    sender=msg.sender,
+                    receiver=msg.receiver,
+                    send_port=msg.send_port,
+                    arrival_port=msg.arrival_port,
+                    sender_informed=msg.sender_informed,
+                    round=msg.deliver_at,
+                )
+            )
+        else:
+            round_counts[msg.deliver_at] = round_counts.get(msg.deliver_at, 0) + 1
+        if enabled and msg.deliver_at > trace.rounds:
+            emit(RoundStarted(round=msg.deliver_at))
+        if msg.deliver_at > trace.rounds:
+            trace.rounds = msg.deliver_at
+        trace.delivered += 1
+        receiver.received_count += 1
+        if full:
+            receiver.history.append((msg.payload, msg.arrival_port))
+        newly_informed = msg.sender_informed and not receiver.informed
+        if newly_informed:
+            receiver.informed = True
+            receiver.informed_at = step
+            informed_at[msg.receiver] = step
+        if enabled:
+            emit(
+                MessageDelivered(
+                    step=step,
+                    seq=msg.seq,
+                    sender=msg.sender,
+                    receiver=msg.receiver,
+                    arrival_port=msg.arrival_port,
+                    payload=msg.payload,
+                    round=msg.deliver_at,
+                    newly_informed=newly_informed,
+                )
+            )
+        receiver.process.on_receive(receiver.context, msg.payload, msg.arrival_port)
+        enqueue(receiver, receiver.context.drain(), msg.deliver_at + 1)
+        if stop_when_informed and len(informed_at) == n:
+            break
+    trace.message_limit_hit = limit_hit
+    trace.completed = scheduler.empty() and not limit_hit
+    while not scheduler.empty():
+        trace.undelivered.append(scheduler.pop())
+    for v, runtime in runtimes.items():
+        if runtime.context.has_output:
+            trace.outputs[v] = runtime.context.output_value
+    if enabled:
+        emit(
+            RunEnded(
+                messages=trace.messages_sent,
+                delivered=trace.delivered,
+                rounds=trace.rounds,
+                informed=len(informed_at),
+                nodes=n,
+                undelivered=len(trace.undelivered),
+                completed=trace.completed,
+                limit_hit=trace.message_limit_hit,
+            )
+        )
+    return trace

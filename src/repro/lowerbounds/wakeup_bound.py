@@ -96,7 +96,12 @@ def _gadget_graph(n: int, seed: int, cache=None):
 def gadget_wakeup_upper(n: int, seed: int = 0, obs=None, cache=None) -> GadgetWakeupRow:
     """Run the Theorem 2.1 pair on a random ``G_{n,S}`` (telemetry via ``obs``)."""
     graph = _gadget_graph(n, seed, cache)
-    result = run_wakeup(graph, SpanningTreeWakeupOracle(), TreeWakeup(), obs=obs)
+    # Counters mode: the row reads messages/success only, so the run skips
+    # the per-delivery log (the gadgets are the hot path of this module).
+    result = run_wakeup(
+        graph, SpanningTreeWakeupOracle(), TreeWakeup(), obs=obs,
+        trace_level="counters",
+    )
     return GadgetWakeupRow(
         n=n,
         gadget_nodes=graph.num_nodes,
@@ -133,7 +138,10 @@ def truncated_oracle_outcome(
     full_oracle = SpanningTreeWakeupOracle()
     full_bits = full_oracle.size_on(graph)
     budget = int(full_bits * fraction)
-    result = run_wakeup(graph, TruncatingOracle(full_oracle, budget), TreeWakeup())
+    result = run_wakeup(
+        graph, TruncatingOracle(full_oracle, budget), TreeWakeup(),
+        trace_level="counters",
+    )
     return TruncationRow(
         n=n,
         budget_bits=budget,
@@ -152,8 +160,13 @@ def zero_advice_cost(n: int, seed: int = 0, cache=None) -> dict:
     of having no information, against ``N - 1`` with full advice.
     """
     graph = _gadget_graph(n, seed, cache)
-    flood = run_wakeup(graph, NullOracle(), Flooding(), max_messages=10**7)
-    dfs = run_wakeup(graph, NullOracle(), DFSTokenWakeup(), max_messages=10**7)
+    flood = run_wakeup(
+        graph, NullOracle(), Flooding(), max_messages=10**7, trace_level="counters"
+    )
+    dfs = run_wakeup(
+        graph, NullOracle(), DFSTokenWakeup(), max_messages=10**7,
+        trace_level="counters",
+    )
     return {
         "n": n,
         "gadget_nodes": graph.num_nodes,

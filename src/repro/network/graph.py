@@ -67,6 +67,7 @@ class PortLabeledGraph:
         self._neighbor_to_port: Dict[Node, Dict[Node, int]] = {}
         self._source: Optional[Node] = None
         self._frozen = False
+        self._compiled = None  # CompiledTopology, attached at freeze()
 
     # ------------------------------------------------------------------
     # Construction
@@ -151,9 +152,18 @@ class PortLabeledGraph:
         self._source = v
 
     def freeze(self) -> "PortLabeledGraph":
-        """Validate the model and make the graph immutable.  Returns self."""
+        """Validate the model and make the graph immutable.  Returns self.
+
+        Freezing also compiles the graph into the flat-array
+        :class:`repro.fastpath.CompiledTopology` the simulation fast path
+        runs on; the compiled form is cached on the graph (a frozen graph
+        cannot change, so the cache never goes stale).
+        """
         self.validate()
         self._frozen = True
+        from ..fastpath.topology import compile_topology
+
+        self._compiled = compile_topology(self)
         return self
 
     @property
@@ -168,6 +178,13 @@ class PortLabeledGraph:
             out._neighbor_to_port[v] = dict(self._neighbor_to_port[v])
         out._source = self._source
         return out
+
+    def __getstate__(self):
+        # The compiled topology is derivable and can be large; rebuild it
+        # on the other side instead of shipping it through pickle.
+        state = self.__dict__.copy()
+        state["_compiled"] = None
+        return state
 
     # ------------------------------------------------------------------
     # Inspection

@@ -41,6 +41,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, Optional
 
 from ..core.oracle import AdviceMap, Oracle, advice_from_json, advice_to_json
+from ..fastpath.topology import CompiledTopology, compiled_topology
 from ..network import serialization
 from ..network.builders import FAMILY_BUILDERS
 from ..network.graph import GraphError, PortLabeledGraph
@@ -122,6 +123,7 @@ class ConstructionCache:
         self.stats = CacheStats()
         self._graphs: Dict[str, PortLabeledGraph] = {}
         self._advice: Dict[str, AdviceMap] = {}
+        self._topologies: Dict[str, CompiledTopology] = {}
 
     @classmethod
     def persistent(cls) -> "ConstructionCache":
@@ -179,6 +181,35 @@ class ConstructionCache:
         self._graphs[key] = graph
         self._store(key, "graph", lambda: serialization.to_json(graph))
         return graph
+
+    # ------------------------------------------------------------------
+    # Compiled topologies
+    # ------------------------------------------------------------------
+    def topology(
+        self,
+        family: str,
+        n: int,
+        graph: PortLabeledGraph,
+        seed: Optional[int] = None,
+    ) -> CompiledTopology:
+        """The :class:`~repro.fastpath.CompiledTopology` for ``(family, n, seed)``.
+
+        Memory-layer only: a topology is derivable from its (already
+        cached) graph in one O(n + m) pass, so persisting it would just
+        duplicate the graph entry on disk.  As with :meth:`advice`, the
+        caller vouches that ``graph`` is the ``(family, n, seed)`` member.
+        """
+        key = self.key("topology", family, n, seed)
+        cached = self._topologies.get(key)
+        if cached is not None:
+            self.stats.hits += 1
+            return cached
+        self.stats.misses += 1
+        if not graph.frozen:
+            graph = graph.copy().freeze()
+        topo = compiled_topology(graph)
+        self._topologies[key] = topo
+        return topo
 
     # ------------------------------------------------------------------
     # Advice
@@ -270,12 +301,13 @@ class ConstructionCache:
     # Introspection
     # ------------------------------------------------------------------
     def __len__(self) -> int:
-        return len(self._graphs) + len(self._advice)
+        return len(self._graphs) + len(self._advice) + len(self._topologies)
 
     def clear_memory(self) -> None:
         """Drop the in-memory layer (the disk layer stays)."""
         self._graphs.clear()
         self._advice.clear()
+        self._topologies.clear()
 
     def __repr__(self) -> str:
         where = self.persist_dir or "memory"

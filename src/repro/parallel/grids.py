@@ -52,6 +52,8 @@ def e1_e4_cell(
     bcast_advice = (
         cache.advice(family, n, bcast_oracle, graph) if cache is not None else None
     )
+    # The row reads only aggregate counters, so neither run needs the
+    # per-delivery log; counters mode leaves the obs event stream intact.
     wake = run_wakeup(
         graph,
         wake_oracle,
@@ -59,6 +61,7 @@ def e1_e4_cell(
         scheduler=make_scheduler("random", seed=seed),
         advice=wake_advice,
         obs=obs,
+        trace_level="counters",
     )
     bcast = run_broadcast(
         graph,
@@ -67,6 +70,7 @@ def e1_e4_cell(
         scheduler=make_scheduler("random", seed=seed),
         advice=bcast_advice,
         obs=obs,
+        trace_level="counters",
     )
     return {
         "family": family,

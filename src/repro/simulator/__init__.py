@@ -14,7 +14,7 @@ from .schedulers import (
     hurry_payload,
     make_scheduler,
 )
-from .trace import DeliveryRecord, ExecutionTrace
+from .trace import TRACE_LEVELS, DeliveryRecord, ExecutionTrace, TraceLevelError
 
 __all__ = [
     "Simulation",
@@ -35,4 +35,6 @@ __all__ = [
     "SCHEDULER_NAMES",
     "DeliveryRecord",
     "ExecutionTrace",
+    "TraceLevelError",
+    "TRACE_LEVELS",
 ]

@@ -16,10 +16,21 @@ it: the source starts informed, and a node becomes informed by receiving any
 message whose sender was informed at send time (the source message can ride
 along on any such message).  It also counts every send — the message
 complexity that all four theorems are about.
+
+Execution paths
+---------------
+:meth:`Simulation.run` dispatches to the compiled fast path
+(:mod:`repro.fastpath.engine`), which executes over the graph's
+flat-array :class:`~repro.fastpath.topology.CompiledTopology`.  Setting
+``REPRO_FASTPATH=0`` in the environment selects the legacy dict-walking
+loop (:meth:`Simulation._run_legacy`) instead.  The two paths are
+byte-identical at ``trace_level="full"`` — same trace, same obs events —
+a contract enforced by ``tests/test_fastpath.py``.
 """
 
 from __future__ import annotations
 
+import os
 from typing import Dict, Hashable, Mapping, Optional
 
 from ..encoding import BitString
@@ -36,7 +47,7 @@ from ..obs.observe import Observation, resolve_obs
 from .messages import InFlightMessage
 from .node import NodeContext, NodeRuntime, Process, WakeupViolation
 from .schedulers import Scheduler, SynchronousScheduler
-from .trace import DeliveryRecord, ExecutionTrace
+from .trace import TRACE_LEVELS, DeliveryRecord, ExecutionTrace
 
 __all__ = ["Simulation"]
 
@@ -78,6 +89,13 @@ class Simulation:
         stream (run boundaries, rounds, sends, deliveries, limit hits).
         Defaults to the disabled null observation, whose cost in the inner
         loop is a single attribute check.
+    trace_level:
+        ``"full"`` (default) records a :class:`DeliveryRecord` per delivered
+        message plus per-node histories; ``"counters"`` keeps only the
+        aggregate counters (messages, delivered, rounds, informed-at,
+        per-round histogram) — all that the lower-bound drivers and sweep
+        cells actually read — and skips the per-delivery allocations.  The
+        obs event stream is identical at both levels.
     """
 
     def __init__(
@@ -93,9 +111,14 @@ class Simulation:
         stop_when_informed: bool = False,
         no_source: bool = False,
         obs: Optional[Observation] = None,
+        trace_level: str = "full",
     ) -> None:
         if not graph.frozen:
             graph = graph.copy().freeze()
+        if trace_level not in TRACE_LEVELS:
+            raise ValueError(
+                f"unknown trace_level {trace_level!r}; expected one of {TRACE_LEVELS}"
+            )
         self._graph = graph
         self._scheduler = scheduler if scheduler is not None else SynchronousScheduler()
         self._obs = resolve_obs(obs)
@@ -103,6 +126,7 @@ class Simulation:
         self._max_messages = max_messages
         self._max_steps = max_steps
         self._stop_when_informed = stop_when_informed
+        self._trace_level = trace_level
         advice = advice or {}
         missing = set(processes) ^ set(graph.nodes())
         if missing:
@@ -125,17 +149,35 @@ class Simulation:
                 informed=is_source,
             )
         self._seq = 0
-        self._trace = ExecutionTrace()
+        self._trace = ExecutionTrace(trace_level=trace_level)
         self._ran = False
 
     # ------------------------------------------------------------------
     def run(self) -> ExecutionTrace:
-        """Execute to quiescence (or a limit) and return the trace."""
+        """Execute to quiescence (or a limit) and return the trace.
+
+        Dispatches to the compiled fast path unless ``REPRO_FASTPATH=0``
+        is set, in which case the legacy loop runs.  Both produce
+        byte-identical traces and events at ``trace_level="full"``.
+        """
         if self._ran:
             raise RuntimeError("a Simulation object runs once; build a new one")
         self._ran = True
+        if os.environ.get("REPRO_FASTPATH", "1") != "0":
+            from ..fastpath.engine import run_fastpath
+
+            return run_fastpath(self)
+        return self._run_legacy()
+
+    def _run_legacy(self) -> ExecutionTrace:
+        """The reference implementation: scheduler-driven, dict lookups.
+
+        Kept runnable forever (``REPRO_FASTPATH=0``) as the executable
+        specification the fast path is tested against.
+        """
         trace = self._trace
         obs = self._obs
+        full = self._trace_level == "full"
         if obs.enabled:
             obs.emit(
                 RunStarted(
@@ -151,8 +193,11 @@ class Simulation:
         if not self._no_source:
             trace.informed_at[self._graph.source] = 0
 
-        for v in sorted(self._runtimes, key=repr):
-            runtime = self._runtimes[v]
+        # Init order is the graph's deterministic node order (insertion
+        # order), the same order the runtimes dict was built in.  A
+        # repr-sort here would interleave mixed label types and couple
+        # execution order to repr formatting.
+        for v, runtime in self._runtimes.items():
             runtime.process.on_init(runtime.context)
             sends = runtime.context.drain()
             if sends and self._wakeup and not runtime.context.is_source:
@@ -172,23 +217,30 @@ class Simulation:
             msg = self._scheduler.pop()
             step += 1
             receiver = self._runtimes[msg.receiver]
-            trace.deliveries.append(
-                DeliveryRecord(
-                    step=step,
-                    payload=msg.payload,
-                    sender=msg.sender,
-                    receiver=msg.receiver,
-                    send_port=msg.send_port,
-                    arrival_port=msg.arrival_port,
-                    sender_informed=msg.sender_informed,
-                    round=msg.deliver_at,
+            if full:
+                trace.deliveries.append(
+                    DeliveryRecord(
+                        step=step,
+                        payload=msg.payload,
+                        sender=msg.sender,
+                        receiver=msg.receiver,
+                        send_port=msg.send_port,
+                        arrival_port=msg.arrival_port,
+                        sender_informed=msg.sender_informed,
+                        round=msg.deliver_at,
+                    )
                 )
-            )
+            else:
+                trace.round_counts[msg.deliver_at] = (
+                    trace.round_counts.get(msg.deliver_at, 0) + 1
+                )
             if obs.enabled and msg.deliver_at > trace.rounds:
                 obs.emit(RoundStarted(round=msg.deliver_at))
             trace.rounds = max(trace.rounds, msg.deliver_at)
+            trace.delivered += 1
             receiver.received_count += 1
-            receiver.history.append((msg.payload, msg.arrival_port))
+            if full:
+                receiver.history.append((msg.payload, msg.arrival_port))
             newly_informed = msg.sender_informed and not receiver.informed
             if newly_informed:
                 receiver.informed = True
@@ -224,7 +276,7 @@ class Simulation:
             obs.emit(
                 RunEnded(
                     messages=trace.messages_sent,
-                    delivered=len(trace.deliveries),
+                    delivered=trace.delivered,
                     rounds=trace.rounds,
                     informed=len(trace.informed_at),
                     nodes=self._graph.num_nodes,
@@ -282,7 +334,7 @@ class Simulation:
                 LimitHit(
                     reason=reason,
                     messages_sent=self._trace.messages_sent,
-                    step=len(self._trace.deliveries),
+                    step=self._trace.delivered,
                 )
             )
         return True

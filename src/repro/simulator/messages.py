@@ -18,7 +18,7 @@ __all__ = ["SendRequest", "InFlightMessage"]
 Payload = Any
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SendRequest:
     """A scheme's instruction: send ``payload`` through local ``port``."""
 
@@ -26,7 +26,7 @@ class SendRequest:
     port: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class InFlightMessage:
     """A message travelling along an edge, as tracked by the engine.
 

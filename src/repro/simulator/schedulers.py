@@ -62,20 +62,69 @@ class Scheduler(Protocol):
 
 
 class SynchronousScheduler:
-    """Deterministic lockstep rounds (see module docstring)."""
+    """Deterministic lockstep rounds (see module docstring).
+
+    Delivery order is exactly what a heap on the key
+    ``(deliver_at, repr(receiver), arrival_port, seq)`` would produce, but
+    messages are binned by round and each round is sorted *once* when it
+    becomes current — the batch round-drain fast path.  ``push`` is an
+    append, ``pop`` serves from the pre-sorted batch, and
+    :meth:`drain_round` hands the whole current round to a caller in one
+    call (the compiled engine consumes rounds wholesale).
+    """
 
     def __init__(self) -> None:
-        self._heap: List[Tuple[Tuple, InFlightMessage]] = []
+        # round -> unsorted [(key, msg)] with key = (repr(recv), port, seq)
+        self._rounds: Dict[int, List[Tuple[Tuple, InFlightMessage]]] = {}
+        # Current round's batch, sorted descending so pop() is a list.pop().
+        self._batch: List[Tuple[Tuple, InFlightMessage]] = []
+        self._batch_round = 0
+        self._size = 0
 
     def push(self, msg: InFlightMessage) -> None:
-        key = (msg.deliver_at, repr(msg.receiver), msg.arrival_port, msg.seq)
-        heapq.heappush(self._heap, (key, msg))
+        key = (repr(msg.receiver), msg.arrival_port, msg.seq)
+        bin_ = self._rounds.get(msg.deliver_at)
+        if bin_ is None:
+            self._rounds[msg.deliver_at] = [(key, msg)]
+        else:
+            bin_.append((key, msg))
+        self._size += 1
+
+    def _advance(self) -> None:
+        """Make the earliest pending round the current batch."""
+        rounds = self._rounds
+        if rounds and (not self._batch or min(rounds) <= self._batch_round):
+            if self._batch:
+                # A push targeted the current (or an earlier) round; fold the
+                # batch back and rebuild so global order is preserved.
+                rounds.setdefault(self._batch_round, []).extend(self._batch)
+            r = min(rounds)
+            batch = rounds.pop(r)
+            # seq is globally unique, so keys are distinct and the message
+            # objects are never compared.
+            batch.sort(reverse=True)
+            self._batch = batch
+            self._batch_round = r
 
     def pop(self) -> InFlightMessage:
-        return heapq.heappop(self._heap)[1]
+        self._advance()
+        if not self._batch:
+            raise IndexError("pop from an empty SynchronousScheduler")
+        self._size -= 1
+        return self._batch.pop()[1]
+
+    def drain_round(self) -> List[InFlightMessage]:
+        """Remove and return every message of the earliest round, in
+        delivery order.  Returns ``[]`` when the scheduler is empty."""
+        self._advance()
+        batch = self._batch
+        out = [pair[1] for pair in reversed(batch)]
+        self._size -= len(batch)
+        batch.clear()
+        return out
 
     def empty(self) -> bool:
-        return not self._heap
+        return self._size == 0
 
 
 class FIFOLinkScheduler:

@@ -6,6 +6,21 @@ are stated in (total messages above all).  Traces are plain data — the
 lower-bound drivers and the tests read them, and
 :func:`ExecutionTrace.history_of` reconstructs the exact history object of
 Section 1.4 for any node.
+
+Trace levels
+------------
+A simulation records at one of two levels (``Simulation(trace_level=...)``):
+
+* ``"full"`` (default) — exactly the historical behaviour: one
+  :class:`DeliveryRecord` per delivered message, per-node histories, and
+  every derived helper below.
+* ``"counters"`` — only the aggregate counters: ``messages_sent``,
+  ``delivered``, ``rounds``, ``informed_at``, the per-round delivery
+  counts, completion flags, outputs, and undelivered messages.  The
+  delivery log and per-node histories are skipped (that is the point —
+  no per-delivery allocation), so the helpers that need the log raise
+  :class:`TraceLevelError` instead of silently answering from an empty
+  list.  Both levels agree on every counter they share.
 """
 
 from __future__ import annotations
@@ -15,10 +30,17 @@ from typing import Any, Dict, Hashable, List, Optional, Set, Tuple
 
 from .messages import InFlightMessage
 
-__all__ = ["DeliveryRecord", "ExecutionTrace"]
+__all__ = ["DeliveryRecord", "ExecutionTrace", "TraceLevelError", "TRACE_LEVELS"]
+
+#: Valid values for ``Simulation(trace_level=...)``.
+TRACE_LEVELS = ("full", "counters")
 
 
-@dataclass(frozen=True)
+class TraceLevelError(RuntimeError):
+    """A per-delivery helper was called on a counters-only trace."""
+
+
+@dataclass(frozen=True, slots=True)
 class DeliveryRecord:
     """One delivered message, in delivery order."""
 
@@ -34,7 +56,13 @@ class DeliveryRecord:
 
 @dataclass
 class ExecutionTrace:
-    """Complete record of one simulation run."""
+    """Complete record of one simulation run.
+
+    ``delivered`` counts delivered messages at every trace level; at
+    ``trace_level="full"`` it always equals ``len(deliveries)``.
+    ``round_counts`` carries the per-round delivery histogram when the
+    delivery log itself was not recorded.
+    """
 
     messages_sent: int = 0
     deliveries: List[DeliveryRecord] = field(default_factory=list)
@@ -44,13 +72,30 @@ class ExecutionTrace:
     message_limit_hit: bool = False
     undelivered: List[InFlightMessage] = field(default_factory=list)
     outputs: Dict[Hashable, Any] = field(default_factory=dict)
+    delivered: int = 0
+    trace_level: str = "full"
+    round_counts: Dict[int, int] = field(default_factory=dict)
+
+    def _require_full(self, helper: str) -> None:
+        if self.trace_level != "full":
+            raise TraceLevelError(
+                f"ExecutionTrace.{helper} needs the delivery log, but this "
+                f"run used trace_level={self.trace_level!r}; rerun with "
+                "trace_level='full'"
+            )
 
     def informed_nodes(self) -> Set[Hashable]:
         """Nodes that held the source message when the run ended."""
         return set(self.informed_at)
 
     def per_round_deliveries(self) -> Dict[int, int]:
-        """Delivered-message count per round, ascending by round."""
+        """Delivered-message count per round, ascending by round.
+
+        Available at every trace level: full mode derives it from the
+        delivery log, counters mode from the engine-maintained histogram.
+        """
+        if self.trace_level != "full":
+            return dict(sorted(self.round_counts.items()))
         counts: Dict[int, int] = {}
         for d in self.deliveries:
             counts[d.round] = counts.get(d.round, 0) + 1
@@ -62,22 +107,29 @@ class ExecutionTrace:
         Keys: ``messages`` (sent), ``delivered``, ``rounds``, ``informed``,
         ``informed_fraction`` (of nodes that ever appear in the trace;
         callers with the graph at hand should divide by ``num_nodes``
-        instead), ``undelivered``, ``completed``, ``limit_hit``, and
-        ``per_round`` (round -> deliveries).  This is what ``repro
-        quickstart`` prints and what :class:`repro.core.TaskResult`
-        summaries build on.
+        instead — at ``trace_level="counters"`` the participant set is
+        unknown and the value is ``None``), ``undelivered``, ``completed``,
+        ``limit_hit``, and ``per_round`` (round -> deliveries).  This is
+        what ``repro quickstart`` prints and what
+        :class:`repro.core.TaskResult` summaries build on.
         """
         informed = len(self.informed_at)
-        participants = set(self.informed_at)
-        for d in self.deliveries:
-            participants.add(d.sender)
-            participants.add(d.receiver)
+        if self.trace_level == "full":
+            participants = set(self.informed_at)
+            for d in self.deliveries:
+                participants.add(d.sender)
+                participants.add(d.receiver)
+            fraction: Optional[float] = (
+                informed / len(participants) if participants else 0.0
+            )
+        else:
+            fraction = None
         return {
             "messages": self.messages_sent,
-            "delivered": len(self.deliveries),
+            "delivered": self.delivered,
             "rounds": self.rounds,
             "informed": informed,
-            "informed_fraction": informed / len(participants) if participants else 0.0,
+            "informed_fraction": fraction,
             "undelivered": len(self.undelivered),
             "completed": self.completed,
             "limit_hit": self.message_limit_hit,
@@ -86,16 +138,19 @@ class ExecutionTrace:
 
     def history_of(self, node: Hashable) -> List[Tuple[Any, int]]:
         """The (message, arrival port) sequence received by ``node``."""
+        self._require_full("history_of")
         return [
             (d.payload, d.arrival_port) for d in self.deliveries if d.receiver == node
         ]
 
     def messages_with_payload(self, payload: Any) -> int:
         """How many *delivered* messages carried the given payload."""
+        self._require_full("messages_with_payload")
         return sum(1 for d in self.deliveries if d.payload == payload)
 
     def edges_used(self) -> Set[Tuple[Hashable, Hashable]]:
         """Undirected edges that carried at least one delivered message."""
+        self._require_full("edges_used")
         out: Set[Tuple[Hashable, Hashable]] = set()
         for d in self.deliveries:
             u, v = d.sender, d.receiver
@@ -109,6 +164,7 @@ class ExecutionTrace:
     def max_edge_traversals(self) -> int:
         """The largest number of messages carried by any single (undirected)
         edge, counting both directions."""
+        self._require_full("max_edge_traversals")
         counts: Dict[Tuple[Hashable, Hashable], int] = {}
         for d in self.deliveries:
             u, v = d.sender, d.receiver
@@ -121,11 +177,13 @@ class ExecutionTrace:
 
     def payload_alphabet(self) -> Set[Any]:
         """Distinct payloads observed; small = bounded-size messages."""
+        self._require_full("payload_alphabet")
         return {d.payload for d in self.deliveries}
 
     @property
     def last_informed_round(self) -> Optional[int]:
         """Round at which the final node became informed, if any did."""
+        self._require_full("last_informed_round")
         if not self.informed_at:
             return None
         steps = {d.step: d.round for d in self.deliveries}

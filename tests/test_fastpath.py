@@ -1,0 +1,309 @@
+"""The fast path's contract: byte-identical to the legacy engine.
+
+``repro.fastpath`` is allowed to exist only because nothing observable
+changes when it runs.  These tests hold it to that:
+
+* at ``trace_level="full"`` the fast path's :class:`ExecutionTrace` is
+  *dataclass-equal* to the legacy engine's and the telemetry JSONL is
+  *byte-equal* — per scheduler, per seed, per mode (anonymous, wakeup,
+  no-source, message/step limits, ``stop_when_informed``);
+* at ``trace_level="counters"`` every surviving counter still matches
+  the full trace, and the event stream is untouched (trace level governs
+  retention, never emission);
+* the compiled flat-array topology answers exactly like the graph it
+  was compiled from, is attached at ``freeze()``, and is dropped by
+  pickling.
+
+The committed ``BENCH_engine.json`` claims the speedup; this file is why
+the speedup is safe to take.
+"""
+
+import io
+import pickle
+import random
+
+import pytest
+
+from repro.algorithms.flooding import Flooding
+from repro.algorithms.scheme_b import SchemeB
+from repro.algorithms.tree_wakeup import TreeWakeup
+from repro.core.oracle import NullOracle
+from repro.core.tasks import run_broadcast, run_wakeup
+from repro.fastpath import CompiledTopology, compile_topology, compiled_topology
+from repro.network import PortLabeledGraph, complete_graph_star
+from repro.network.constructions import sample_edge_tuple, subdivision_family_graph
+from repro.obs.observe import Observation
+from repro.obs.sinks import JSONLSink
+from repro.oracles.light_tree import LightTreeBroadcastOracle
+from repro.oracles.spanning_tree import SpanningTreeWakeupOracle
+from repro.parallel import ConstructionCache
+from repro.simulator.engine import Simulation
+from repro.simulator.schedulers import SynchronousScheduler, make_scheduler
+from repro.simulator.trace import TraceLevelError
+
+from conftest import small_graph_zoo
+
+SEEDS = (0, 1, 2)
+SCHEDULERS = ("sync", "fifo", "random", "delay-hello")
+
+#: (task, oracle factory, algorithm factory) — one advice-free pair and
+#: the paper's two upper-bound pairs, so the identity check covers empty
+#: advice, tree-structured advice, and the wakeup discipline.
+PAIRS = (
+    ("broadcast", NullOracle, Flooding),
+    ("broadcast", LightTreeBroadcastOracle, SchemeB),
+    ("wakeup", SpanningTreeWakeupOracle, TreeWakeup),
+)
+
+
+def _graphs():
+    rng = random.Random(7)
+    return [
+        complete_graph_star(12),
+        subdivision_family_graph(11, sample_edge_tuple(11, 11, rng)),
+    ]
+
+
+def _run_one(graph, task, oracle, algorithm, scheduler_name, seed, fastpath,
+             monkeypatch, **kwargs):
+    """One task run under one engine path, with its own JSONL capture."""
+    monkeypatch.setenv("REPRO_FASTPATH", "1" if fastpath else "0")
+    stream = io.StringIO()
+    obs = Observation(sink=JSONLSink(stream))
+    runner = run_broadcast if task == "broadcast" else run_wakeup
+    result = runner(
+        graph,
+        oracle(),
+        algorithm(),
+        scheduler=make_scheduler(scheduler_name, seed=seed),
+        obs=obs,
+        **kwargs,
+    )
+    return result, stream.getvalue()
+
+
+def _assert_identical(graph, task, oracle, algorithm, scheduler_name, seed,
+                      monkeypatch, **kwargs):
+    legacy, legacy_jsonl = _run_one(
+        graph, task, oracle, algorithm, scheduler_name, seed, False,
+        monkeypatch, **kwargs,
+    )
+    fast, fast_jsonl = _run_one(
+        graph, task, oracle, algorithm, scheduler_name, seed, True,
+        monkeypatch, **kwargs,
+    )
+    label = f"{task}/{oracle.__name__}/{scheduler_name}/seed={seed}/{kwargs}"
+    assert fast.trace == legacy.trace, f"trace diverged: {label}"
+    assert fast_jsonl == legacy_jsonl, f"telemetry diverged: {label}"
+    assert fast == legacy, f"TaskResult diverged: {label}"
+
+
+@pytest.mark.parametrize("scheduler_name", SCHEDULERS)
+@pytest.mark.parametrize(
+    "task,oracle,algorithm", PAIRS, ids=lambda p: getattr(p, "__name__", p)
+)
+def test_byte_identity(task, oracle, algorithm, scheduler_name, monkeypatch):
+    for graph in _graphs():
+        for seed in SEEDS:
+            _assert_identical(
+                graph, task, oracle, algorithm, scheduler_name, seed, monkeypatch
+            )
+
+
+@pytest.mark.parametrize("scheduler_name", SCHEDULERS)
+def test_byte_identity_modes(scheduler_name, monkeypatch):
+    """The awkward modes: limits, anonymity, early stop, missing source."""
+    graph = _graphs()[1]
+    for kwargs in ({"anonymous": True}, {"max_messages": 7}):
+        _assert_identical(
+            graph, "broadcast", NullOracle, Flooding, scheduler_name, 0,
+            monkeypatch, **kwargs,
+        )
+
+
+@pytest.mark.parametrize("scheduler_name", SCHEDULERS)
+@pytest.mark.parametrize("mode", ["stop_when_informed", "max_steps", "no_source"])
+def test_byte_identity_engine_modes(scheduler_name, mode, monkeypatch):
+    """Engine-level switches that the task wrappers don't expose."""
+    sim_kwargs = {
+        "stop_when_informed": {"stop_when_informed": True},
+        "max_steps": {"max_steps": 5},
+        "no_source": {"no_source": True},
+    }[mode]
+    for graph in _graphs():
+        frozen = graph if graph.frozen else graph.copy().freeze()
+        traces = {}
+        streams = {}
+        for fastpath in (False, True):
+            monkeypatch.setenv("REPRO_FASTPATH", "1" if fastpath else "0")
+            advice = NullOracle().advise(frozen)
+            alg = Flooding()
+            schemes = {
+                v: alg.scheme_for(advice[v], v == frozen.source, v, frozen.degree(v))
+                for v in frozen.nodes()
+            }
+            stream = io.StringIO()
+            sim = Simulation(
+                frozen,
+                schemes,
+                advice=advice,
+                scheduler=make_scheduler(scheduler_name, seed=1),
+                obs=Observation(sink=JSONLSink(stream)),
+                **sim_kwargs,
+            )
+            traces[fastpath] = sim.run()
+            streams[fastpath] = stream.getvalue()
+        assert traces[True] == traces[False], f"trace diverged: {mode}"
+        assert streams[True] == streams[False], f"telemetry diverged: {mode}"
+
+
+def test_counters_downgrade_consistency(monkeypatch):
+    """Counters mode keeps every counter and the whole event stream."""
+    graph = _graphs()[0]
+    for fastpath in (False, True):
+        monkeypatch.setenv("REPRO_FASTPATH", "1" if fastpath else "0")
+        stream_full, stream_counters = io.StringIO(), io.StringIO()
+        full = run_broadcast(
+            graph, LightTreeBroadcastOracle(), SchemeB(),
+            obs=Observation(sink=JSONLSink(stream_full)),
+        )
+        counters = run_broadcast(
+            graph, LightTreeBroadcastOracle(), SchemeB(),
+            obs=Observation(sink=JSONLSink(stream_counters)),
+            trace_level="counters",
+        )
+        assert stream_counters.getvalue() == stream_full.getvalue()
+        assert counters.trace.messages_sent == full.trace.messages_sent
+        assert counters.trace.delivered == full.trace.delivered
+        assert counters.trace.rounds == full.trace.rounds
+        assert counters.trace.informed_at == full.trace.informed_at
+        assert counters.trace.completed == full.trace.completed
+        assert counters.trace.deliveries == []
+        assert counters.trace.per_round_deliveries() == full.trace.per_round_deliveries()
+        assert sum(counters.trace.round_counts.values()) == full.trace.delivered
+        assert counters.success == full.success
+        with pytest.raises(TraceLevelError):
+            counters.trace.history_of(graph.source)
+        with pytest.raises(TraceLevelError):
+            counters.trace.edges_used()
+
+
+def test_counters_rejects_audit():
+    graph = _graphs()[0]
+    with pytest.raises(ValueError, match="audit"):
+        run_broadcast(
+            graph, LightTreeBroadcastOracle(), SchemeB(),
+            audit=True, trace_level="counters",
+        )
+
+
+def test_compiled_topology_matches_graph():
+    """The flat arrays answer exactly like the PortLabeledGraph API."""
+    for graph in small_graph_zoo() + _graphs():
+        if not graph.frozen:
+            graph = graph.copy().freeze()
+        topo = compiled_topology(graph)
+        assert isinstance(topo, CompiledTopology)
+        assert topo.num_nodes == graph.num_nodes
+        assert topo.num_edges == graph.num_edges
+        assert list(topo.labels) == list(graph.nodes())
+        for i, v in enumerate(topo.labels):
+            assert topo.index[v] == i
+            assert topo.degrees[i] == graph.degree(v)
+            assert topo.reprs[i] == repr(v)
+            for port in range(graph.degree(v)):
+                j = topo.neighbor_via(i, port)
+                assert topo.labels[j] == graph.neighbor_via(v, port)
+                back = topo.arrival_port(i, port)
+                assert graph.neighbor_via(topo.labels[j], back) == v
+        if graph.has_source:
+            assert topo.labels[topo.source_index] == graph.source
+        else:
+            assert topo.source_index == -1
+
+
+def test_compiled_topology_bounds_checked():
+    graph = complete_graph_star(5)
+    topo = compiled_topology(graph)
+    with pytest.raises(IndexError):
+        topo.neighbor_via(0, 99)
+    with pytest.raises(IndexError):
+        topo.arrival_port(99, 0)
+
+
+def test_topology_attached_at_freeze_and_unpickled_lazily():
+    g = PortLabeledGraph()
+    for v in range(3):
+        g.add_node(v)
+    g.add_edge(0, 1)
+    g.add_edge(1, 2)
+    g.set_source(0)
+    with pytest.raises(ValueError):
+        compiled_topology(g)  # unfrozen graphs have no stable topology
+    g.freeze()
+    assert g._compiled is not None
+    assert compiled_topology(g) is g._compiled  # cached, not recompiled
+    clone = pickle.loads(pickle.dumps(g))
+    assert clone._compiled is None  # arrays are derived state, not payload
+    assert compiled_topology(clone).num_edges == g.num_edges  # rebuilt on demand
+    assert clone._compiled is not None
+
+
+def test_construction_cache_serves_topologies():
+    cache = ConstructionCache()
+    graph = complete_graph_star(8)
+    first = cache.topology("kstar", 8, graph)
+    again = cache.topology("kstar", 8, graph)
+    assert first is again
+    assert cache.stats.hits == 1 and cache.stats.misses == 1
+    assert first.num_nodes == graph.num_nodes
+    before = len(cache)
+    cache.clear_memory()
+    assert before >= 1 and len(cache) == 0
+
+
+def test_sync_drain_round_matches_pop_order():
+    """drain_round() is pop() repeated — same messages, same order."""
+
+    def fill(scheduler):
+        rng = random.Random(3)
+        from repro.simulator.messages import InFlightMessage
+
+        for seq in range(20):
+            scheduler.push(
+                InFlightMessage(
+                    payload=f"p{seq}",
+                    sender=rng.randrange(5),
+                    receiver=rng.randrange(5),
+                    send_port=0,
+                    arrival_port=rng.randrange(3),
+                    deliver_at=rng.randrange(2),
+                    seq=seq,
+                    sender_informed=True,
+                )
+            )
+
+    popper, drainer = SynchronousScheduler(), SynchronousScheduler()
+    fill(popper)
+    fill(drainer)
+    drained = drainer.drain_round()
+    popped = [popper.pop() for _ in range(len(drained))]
+    assert drained == popped
+    assert drainer.drain_round() == [popper.pop() for _ in range(20 - len(drained))]
+    assert drainer.empty() and popper.empty()
+
+
+def test_fastpath_escape_hatch(monkeypatch):
+    """REPRO_FASTPATH=0 really does route through the legacy loop."""
+    graph = complete_graph_star(6)
+    monkeypatch.setenv("REPRO_FASTPATH", "0")
+    calls = {}
+    original = Simulation._run_legacy
+
+    def spy(self):
+        calls["legacy"] = True
+        return original(self)
+
+    monkeypatch.setattr(Simulation, "_run_legacy", spy)
+    result = run_broadcast(graph, NullOracle(), Flooding())
+    assert result.success and calls.get("legacy")
