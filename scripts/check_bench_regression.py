@@ -63,11 +63,33 @@ def main(argv=None) -> int:
 
     base = per_delivery_numbers(args.baseline)
     fresh = per_delivery_numbers(args.fresh)
+
+    # A key present in only one file is a harness/export mismatch, not a
+    # perf verdict: name the asymmetry clearly and exit distinctly (2)
+    # instead of dressing it up as a regression (or crashing on lookup).
+    only_base = sorted(set(base) - set(fresh))
+    only_fresh = sorted(set(fresh) - set(base))
+    if only_base or only_fresh:
+        print(
+            "error: benchmark keys differ between the two BENCH files "
+            "(did the benchmark or its export change without refreshing "
+            "the committed baseline?):",
+            file=sys.stderr,
+        )
+        for key in only_base:
+            print(f"  {key}: only in baseline {args.baseline}", file=sys.stderr)
+        for key in only_fresh:
+            print(f"  {key}: only in fresh run {args.fresh}", file=sys.stderr)
+        return 2
+
     failures = []
     for key in sorted(base):
-        if key not in fresh:
-            failures.append(f"{key}: missing from fresh run")
-            continue
+        if base[key] <= 0:
+            print(
+                f"error: non-positive baseline value for {key}: {base[key]}",
+                file=sys.stderr,
+            )
+            return 2
         ratio = fresh[key] / base[key]
         gated = key.endswith(GATED_SUFFIXES)
         verdict = "ok"
@@ -83,9 +105,6 @@ def main(argv=None) -> int:
             f"{key:42s} {base[key]:9.0f}ns -> {fresh[key]:9.0f}ns "
             f"({ratio - 1.0:+6.0%}) [{verdict}]"
         )
-    for key in sorted(set(fresh) - set(base)):
-        print(f"{key:42s} (new key, not in baseline: {fresh[key]:.0f}ns) [info]")
-
     if failures:
         print(
             f"\nFAIL: {len(failures)} per-delivery metric(s) regressed beyond "

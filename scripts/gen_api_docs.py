@@ -22,6 +22,7 @@ MODULES = [
     "repro.lint",
     "repro.obs",
     "repro.parallel",
+    "repro.runner",
     "repro.analysis",
     "repro.agent",
     "repro.cli",

@@ -91,6 +91,11 @@ from .parallel import (
     parallel_sweep_families,
     run_experiments,
 )
+from .runner import (
+    RetryPolicy,
+    resilient_run_experiments,
+    resilient_sweep_families,
+)
 from .simulator import (
     Simulation,
     WakeupViolation,
@@ -168,4 +173,8 @@ __all__ = [
     "ConstructionCache",
     "parallel_sweep_families",
     "run_experiments",
+    # runner (fault tolerance)
+    "RetryPolicy",
+    "resilient_sweep_families",
+    "resilient_run_experiments",
 ]

@@ -36,6 +36,8 @@ __all__ = [
     "sweep_families",
     "run_sweep_cell",
     "measurement_keywords",
+    "skipped_row",
+    "failed_row",
     "run_pair",
     "task_result_row",
 ]
@@ -66,6 +68,36 @@ def measurement_keywords(measurement: Measurement) -> FrozenSet[str]:
     return MEASUREMENT_KEYWORDS & frozenset(params)
 
 
+def skipped_row(family: str, n: int, error: str, detail: str) -> Dict[str, Any]:
+    """The structured row for a cell whose *builder* failed (deterministic;
+    part of the sweep's result stream)."""
+    return {
+        "family": family,
+        "n": n,
+        "requested_n": n,
+        "skipped": True,
+        "error": error,
+        "detail": detail,
+    }
+
+
+def failed_row(
+    family: str, n: int, error: str, detail: str, attempts: int
+) -> Dict[str, Any]:
+    """The structured row for a cell the fault-tolerant runner gave up on
+    (crash/timeout/exception after exhausting retries — host-dependent, so
+    it appears only in faulted runs; see :mod:`repro.runner`)."""
+    return {
+        "family": family,
+        "n": n,
+        "requested_n": n,
+        "failed": True,
+        "error": error,
+        "detail": detail,
+        "attempts": attempts,
+    }
+
+
 def run_sweep_cell(
     family: str,
     n: int,
@@ -90,14 +122,7 @@ def run_sweep_cell(
         else:
             graph = builder(n)
     except Exception as exc:
-        row: Dict[str, Any] = {
-            "family": family,
-            "n": n,
-            "requested_n": n,
-            "skipped": True,
-            "error": type(exc).__name__,
-            "detail": str(exc),
-        }
+        row = skipped_row(family, n, type(exc).__name__, str(exc))
         if obs.enabled:
             obs.emit(
                 SweepCellSkipped(

@@ -11,6 +11,14 @@ Commands
 ``all``
     Run every experiment (E1-E14) at default sizes; accepts the same
     ``--workers`` / ``--cache`` flags.
+
+    Both commands also take the fault-tolerance flags ``--timeout S``,
+    ``--retries N``, ``--run-dir DIR`` and ``--resume DIR`` (see
+    :mod:`repro.runner` and ``docs/ROBUSTNESS.md``): any of them routes
+    the run through the journaled runner, where a crashed or hung
+    experiment degrades to a structured FAILED row (nonzero exit) instead
+    of taking the run down, and an interrupted ``--run-dir`` run resumes
+    byte-identically.
 ``separation [--family F] [--sizes 16,32,...]``
     Just the headline separation sweep.
 ``quickstart [n]``
@@ -48,15 +56,51 @@ __all__ = ["main"]
 
 
 def _cmd_experiment(
-    ids: List[str], workers: Optional[int] = None, use_cache: bool = False
+    ids: List[str],
+    workers: Optional[int] = None,
+    use_cache: bool = False,
+    timeout: Optional[float] = None,
+    retries: Optional[int] = None,
+    run_dir: Optional[str] = None,
+    resume: Optional[str] = None,
 ) -> int:
     from .parallel import ConstructionCache, resolve_workers, run_experiments
 
     cache = ConstructionCache.persistent() if use_cache else None
-    workers = resolve_workers(workers)
-    status = 0
     try:
-        if workers > 1:
+        workers = resolve_workers(workers)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if resume is not None:
+        if not os.path.isdir(resume):
+            print(
+                f"error: --resume directory {resume!r} does not exist "
+                f"(it is created by a previous run's --run-dir)",
+                file=sys.stderr,
+            )
+            return 2
+        run_dir = resume
+    resilient = any(v is not None for v in (timeout, retries, run_dir))
+    stats = None
+    try:
+        if resilient:
+            # The fault-tolerant runner: per-experiment timeout/retry,
+            # crash isolation, and (with a run dir) a journal that makes
+            # the run resumable.  Results still come back in request
+            # order and print exactly what a serial run prints.
+            from .runner import DEFAULT_RETRIES, RetryPolicy, resilient_run_experiments
+
+            policy = RetryPolicy(
+                retries=retries if retries is not None else DEFAULT_RETRIES,
+                timeout=timeout,
+            )
+            report = resilient_run_experiments(
+                ids, workers=workers, cache=cache, policy=policy, run_dir=run_dir
+            )
+            ordered = [report.results[eid] for eid in ids]
+            stats = report.stats
+        elif workers > 1:
             # Fan whole experiments across a process pool; results come
             # back in request order, so the output matches a serial run.
             results = run_experiments(ids, workers=workers, cache=cache)
@@ -66,6 +110,7 @@ def _cmd_experiment(
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    status = 0
     for result in ordered:
         print(format_experiment(result))
         print()
@@ -84,6 +129,15 @@ def _cmd_experiment(
                 f"construction cache: {s.hits} hit(s), {s.misses} miss(es), "
                 f"{s.disk_hits} from disk ({cache.persist_dir})"
             )
+    if stats is not None:
+        print(stats.summary_line())
+        if stats.failed:
+            print(
+                f"error: {stats.failed} experiment(s) failed after exhausting "
+                f"retries (see the FAILED rows above)",
+                file=sys.stderr,
+            )
+            status = 1
     return status
 
 
@@ -324,6 +378,34 @@ def main(argv: Optional[List[str]] = None) -> int:
             help="persist built graphs/advice under $REPRO_CACHE_DIR "
             "(default ~/.cache/repro); --no-cache is the default",
         )
+        p.add_argument(
+            "--timeout",
+            type=float,
+            default=None,
+            help="per-experiment wall-clock budget in seconds "
+            "(enables the fault-tolerant runner)",
+        )
+        p.add_argument(
+            "--retries",
+            type=int,
+            default=None,
+            help="re-attempts per experiment before it degrades to a FAILED "
+            "row (default 2; enables the fault-tolerant runner)",
+        )
+        p.add_argument(
+            "--run-dir",
+            default=None,
+            help="journal completed experiments under this directory "
+            "(journal.jsonl + results.json + runner.jsonl), making the "
+            "run resumable with --resume",
+        )
+        p.add_argument(
+            "--resume",
+            default=None,
+            metavar="RUN_DIR",
+            help="resume an interrupted --run-dir run: journaled experiments "
+            "are replayed byte-identically, missing ones are computed",
+        )
 
     sub.add_parser("list", help="list the experiment registry")
 
@@ -399,9 +481,15 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     args = parser.parse_args(argv)
     if args.command in ("experiment", "exp"):
-        return _cmd_experiment(args.ids, args.workers, args.cache)
+        return _cmd_experiment(
+            args.ids, args.workers, args.cache,
+            args.timeout, args.retries, args.run_dir, args.resume,
+        )
     if args.command == "all":
-        return _cmd_experiment(sorted(EXPERIMENTS), args.workers, args.cache)
+        return _cmd_experiment(
+            sorted(EXPERIMENTS), args.workers, args.cache,
+            args.timeout, args.retries, args.run_dir, args.resume,
+        )
     if args.command == "list":
         return _cmd_list()
     if args.command == "separation":

@@ -31,11 +31,16 @@ from .events import (
     AdviceComputed,
     AdversaryProbe,
     AuditFailed,
+    CellAttemptFailed,
+    CellFailed,
+    CellResumed,
+    CellRetried,
     Event,
     EVENT_KINDS,
     LimitHit,
     MessageDelivered,
     MessageSent,
+    ReplayedEvent,
     RoundStarted,
     RunEnded,
     RunStarted,
@@ -73,6 +78,11 @@ __all__ = [
     "SpanEnded",
     "SweepCellMeasured",
     "SweepCellSkipped",
+    "CellAttemptFailed",
+    "CellRetried",
+    "CellFailed",
+    "CellResumed",
+    "ReplayedEvent",
     "AdversaryProbe",
     "EVENT_KINDS",
     "jsonable",

@@ -25,6 +25,7 @@ from typing import Any, ClassVar, Dict, Optional, Tuple, Type
 
 __all__ = [
     "Event",
+    "ReplayedEvent",
     "RunStarted",
     "RoundStarted",
     "MessageSent",
@@ -37,6 +38,10 @@ __all__ = [
     "SpanEnded",
     "SweepCellMeasured",
     "SweepCellSkipped",
+    "CellAttemptFailed",
+    "CellRetried",
+    "CellFailed",
+    "CellResumed",
     "AdversaryProbe",
     "EVENT_KINDS",
     "jsonable",
@@ -74,6 +79,28 @@ class Event:
         for f in fields(self):
             out[f.name] = jsonable(getattr(self, f.name))
         return out
+
+
+class ReplayedEvent(Event):
+    """A journaled event re-emitted verbatim (e.g. on ``--resume``).
+
+    Wraps an already-serialized event dict so that re-emitting it through a
+    sink or :func:`repro.obs.metrics.apply_event` produces exactly the bytes
+    and metric folds of the original typed event — the mechanism behind the
+    resume byte-identity guarantee of :mod:`repro.runner`.
+    """
+
+    __slots__ = ("data",)
+
+    def __init__(self, data: Dict[str, Any]) -> None:
+        object.__setattr__(self, "data", data)
+
+    @property
+    def kind(self) -> str:  # type: ignore[override]
+        return str(self.data.get("event", "event"))
+
+    def to_dict(self) -> Dict[str, Any]:
+        return self.data
 
 
 @dataclass(frozen=True)
@@ -215,6 +242,58 @@ class SweepCellSkipped(Event):
 
 
 @dataclass(frozen=True)
+class CellAttemptFailed(Event):
+    """One attempt at a unit of work failed (crash, timeout, or exception).
+
+    Runner fault telemetry (see :mod:`repro.runner`) — deliberately kept
+    out of the deterministic result stream, because faults are
+    host-dependent.  ``error`` is an exception type name or one of the
+    runner's synthetic reasons (``WorkerCrash``, ``TimeoutError``).
+    """
+
+    kind: ClassVar[str] = "cell_attempt_failed"
+    experiment: str
+    cell: str
+    attempt: int
+    error: str
+    detail: str
+
+
+@dataclass(frozen=True)
+class CellRetried(Event):
+    """A failed unit of work was requeued for another attempt."""
+
+    kind: ClassVar[str] = "cell_retried"
+    experiment: str
+    cell: str
+    attempt: int
+    delay_s: float
+
+
+@dataclass(frozen=True)
+class CellFailed(Event):
+    """A unit of work exhausted its retry budget and degraded to a
+    structured ``failed`` row."""
+
+    kind: ClassVar[str] = "cell_failed"
+    experiment: str
+    cell: str
+    attempts: int
+    error: str
+    detail: str
+
+
+@dataclass(frozen=True)
+class CellResumed(Event):
+    """A completed unit of work was replayed from the run journal instead
+    of being recomputed (``--resume``)."""
+
+    kind: ClassVar[str] = "cell_resumed"
+    experiment: str
+    cell: str
+
+
+@dataclass(frozen=True)
 class AdversaryProbe(Event):
     """One probe answered by the Lemma 2.1 adversary.
 
@@ -247,6 +326,10 @@ EVENT_KINDS: Dict[str, Type[Event]] = {
         SpanEnded,
         SweepCellMeasured,
         SweepCellSkipped,
+        CellAttemptFailed,
+        CellRetried,
+        CellFailed,
+        CellResumed,
         AdversaryProbe,
     )
 }

@@ -201,6 +201,14 @@ def apply_event(metrics: MetricsRegistry, event: Union[Event, Mapping[str, Any]]
         metrics.counter("sweep_cells").inc()
     elif kind == "sweep_cell_skipped":
         metrics.counter("sweep_cells_skipped").inc()
+    elif kind == "cell_attempt_failed":
+        metrics.counter("runner_attempt_failures").inc()
+    elif kind == "cell_retried":
+        metrics.counter("runner_retries").inc()
+    elif kind == "cell_failed":
+        metrics.counter("runner_cells_failed").inc()
+    elif kind == "cell_resumed":
+        metrics.counter("runner_cells_resumed").inc()
     elif kind == "adversary_probe":
         metrics.counter("adversary_probes").inc()
         metrics.gauge("adversary_active_instances").set(data["active_after"])

@@ -50,12 +50,25 @@ __all__ = [
     "CACHE_SCHEMA",
     "CacheStats",
     "ConstructionCache",
+    "content_address",
     "default_cache_dir",
     "resolve_cache",
 ]
 
 #: Version tag mixed into every key; bump when the on-disk formats change.
 CACHE_SCHEMA = "repro-cache/1"
+
+
+def content_address(schema: str, *parts: Any) -> str:
+    """SHA-256 of ``schema|part|part|...`` — the canonical content key.
+
+    Shared by the construction cache and the run journal of
+    :mod:`repro.runner`: any store keyed this way is invalidated simply by
+    changing what goes into the key (schema bump, different seed, different
+    oracle name, ...).
+    """
+    raw = "|".join([schema, *(str(part) for part in parts)])
+    return hashlib.sha256(raw.encode("utf-8")).hexdigest()
 
 #: Environment variable naming the persistent cache directory.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
@@ -140,8 +153,7 @@ class ConstructionCache:
     @staticmethod
     def key(kind: str, family: str, n: int, seed: Optional[int], oracle: str = "") -> str:
         """The content address: SHA-256 of the canonical key string."""
-        raw = f"{CACHE_SCHEMA}|{kind}|{family}|{n}|{seed}|{oracle}"
-        return hashlib.sha256(raw.encode("utf-8")).hexdigest()
+        return content_address(CACHE_SCHEMA, kind, family, n, seed, oracle)
 
     # ------------------------------------------------------------------
     # Graphs

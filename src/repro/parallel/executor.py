@@ -56,6 +56,9 @@ __all__ = [
     "resolve_workers",
     "parallel_sweep_families",
     "run_experiments",
+    "init_worker_cache",
+    "sweep_cell_task",
+    "experiment_task",
 ]
 
 #: Environment variable supplying the default worker count.
@@ -75,18 +78,24 @@ def resolve_workers(workers: Optional[int] = None) -> int:
 # ----------------------------------------------------------------------
 # Worker side
 # ----------------------------------------------------------------------
-#: The worker-process cache, installed by :func:`_init_worker`.  One per
+#: The worker-process cache, installed by :func:`init_worker_cache`.  One per
 #: worker for the pool's lifetime, so repeated (family, n) cells within a
 #: worker hit memory and all workers share the parent's disk layer.
 _WORKER_CACHE: Optional[ConstructionCache] = None
 
 
-def _init_worker(cache_spec: Optional[CacheSpec]) -> None:
+def init_worker_cache(cache_spec: Optional[CacheSpec]) -> None:
+    """Pool initializer: hydrate this worker's cache from a picklable spec.
+
+    Shared by this executor and the fault-tolerant runner in
+    :mod:`repro.runner`, which submits the same worker entry points through
+    its own journaled pool.
+    """
     global _WORKER_CACHE
     _WORKER_CACHE = cache_spec.build() if cache_spec is not None else None
 
 
-def _cell_task(
+def sweep_cell_task(
     family: str, n: int, measurement: Measurement, want_events: bool
 ) -> Tuple[Dict[str, Any], List[Event]]:
     """Run one cell in a worker: returns (row, captured events)."""
@@ -153,11 +162,11 @@ def parallel_sweep_families(
     rows: List[Dict[str, Any]] = []
     with ProcessPoolExecutor(
         max_workers=min(workers, max(1, len(cells))),
-        initializer=_init_worker,
+        initializer=init_worker_cache,
         initargs=(spec,),
     ) as pool:
         futures = [
-            pool.submit(_cell_task, family, n, measurement, want_events)
+            pool.submit(sweep_cell_task, family, n, measurement, want_events)
             for family, n in cells
         ]
         # Merge in submission (= grid) order, not completion order.
@@ -169,7 +178,8 @@ def parallel_sweep_families(
     return rows
 
 
-def _experiment_task(experiment_id: str, kwargs: Dict[str, Any]):
+def experiment_task(experiment_id: str, kwargs: Dict[str, Any]):
+    """Run one registry experiment in a worker (the coarse unit of work)."""
     from ..analysis.experiments import run_experiment
 
     return run_experiment(experiment_id, cache=_WORKER_CACHE, **kwargs)
@@ -202,11 +212,11 @@ def run_experiments(
     spec = cache.spec() if cache is not None else None
     with ProcessPoolExecutor(
         max_workers=min(workers, max(1, len(ids))),
-        initializer=_init_worker,
+        initializer=init_worker_cache,
         initargs=(spec,),
     ) as pool:
         futures = {
-            eid: pool.submit(_experiment_task, eid, kwargs_by_id.get(eid, {}))
+            eid: pool.submit(experiment_task, eid, kwargs_by_id.get(eid, {}))
             for eid in ids
         }
         return {eid: future.result() for eid, future in futures.items()}

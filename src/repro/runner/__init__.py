@@ -1,0 +1,63 @@
+"""Fault-tolerant, journaled, resumable execution of experiment grids.
+
+The layer between :mod:`repro.parallel` (which fans cells out across a
+process pool, assuming nothing goes wrong) and a run you actually want to
+finish: per-cell timeouts, bounded retries with backoff, crash isolation
+(a dead worker fails only its own cell), an fsync'd on-disk journal of
+settled cells, and ``--resume`` that replays the journal and recomputes
+only what is missing — with rows, JSONL traces, and metrics registries
+byte-identical to an uninterrupted run at the same seed.
+
+Entry points: :func:`resilient_sweep_families` and
+:func:`resilient_run_experiments` mirror their :mod:`repro.parallel`
+namesakes; :func:`execute_units` is the generic core underneath both.
+See ``docs/ROBUSTNESS.md`` for the journal format and the exact
+guarantees.
+"""
+
+from .core import (
+    RESULTS_NAME,
+    ROWS_NAME,
+    RUNNER_TRACE_NAME,
+    CellOutcome,
+    RunReport,
+    RunStats,
+    WorkUnit,
+    canonical_json,
+    execute_units,
+    measurement_fingerprint,
+    resilient_run_experiments,
+    resilient_sweep_families,
+)
+from .journal import (
+    JOURNAL_NAME,
+    JOURNAL_SCHEMA,
+    JournalEntry,
+    RunJournal,
+    cell_key,
+    load_journal,
+)
+from .retry import DEFAULT_RETRIES, RetryPolicy
+
+__all__ = [
+    "CellOutcome",
+    "DEFAULT_RETRIES",
+    "JOURNAL_NAME",
+    "JOURNAL_SCHEMA",
+    "JournalEntry",
+    "RESULTS_NAME",
+    "ROWS_NAME",
+    "RUNNER_TRACE_NAME",
+    "RetryPolicy",
+    "RunJournal",
+    "RunReport",
+    "RunStats",
+    "WorkUnit",
+    "canonical_json",
+    "cell_key",
+    "execute_units",
+    "load_journal",
+    "measurement_fingerprint",
+    "resilient_run_experiments",
+    "resilient_sweep_families",
+]

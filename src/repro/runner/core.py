@@ -1,0 +1,745 @@
+"""The fault-tolerant, journaled layer over the process-pool fan-out.
+
+:mod:`repro.parallel` scales the E1-E14 grid out across workers; this
+module makes that fan-out survive the faults a long run actually meets —
+a worker segfaulting or OOM-killed, a cell hanging, a flaky exception —
+and makes the *parent* itself interruptible: completed cells are
+journaled to disk (:mod:`repro.runner.journal`), so a killed run resumes
+where it stopped.
+
+**The determinism contract carries over.**  A run interrupted at an
+arbitrary cell and resumed produces rows, telemetry JSONL, and metrics
+byte-identical to an uninterrupted run at the same seed: journaled cells
+re-emit their stored rows and events verbatim
+(:class:`repro.obs.ReplayedEvent`), fresh cells compute exactly what the
+serial path computes, and the merge happens in canonical grid order
+whatever order cells settled in.  Fault telemetry — attempt failures,
+retries, resumes — is deliberately kept **out** of the deterministic
+result stream (faults are host-dependent) and flows through a separate
+runner Observation instead, which ``repro stats`` summarizes like any
+other event stream.
+
+**Fault semantics.**
+
+* A cell that raises keeps the pool alive; the cell is retried with
+  exponential backoff up to its budget.
+* A cell that exceeds the per-cell ``timeout`` gets its pool recycled
+  (there is no way to kill one hung worker out of a pool); the timed-out
+  cell is charged an attempt, innocent in-flight cells are resubmitted
+  free of charge.
+* A worker that *dies* breaks the whole
+  :class:`~concurrent.futures.ProcessPoolExecutor`, which cannot say
+  which cell killed it — so every in-flight cell is re-run **solo** (one
+  at a time in a fresh pool).  A cell that crashes alone is definitively
+  the culprit and is charged; innocent cells simply succeed on their solo
+  run.  A dead worker therefore fails only its own cell.
+* A cell that exhausts ``retries`` degrades to a structured ``failed``
+  row (the fault analog of the sweep's ``skipped`` rows) and the run
+  continues; the caller reports a summary and a nonzero exit code.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, BrokenExecutor, Future, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import functools
+
+from ..analysis.measure import Measurement, failed_row
+from ..network.builders import FAMILY_BUILDERS
+from ..obs.events import (
+    CellAttemptFailed,
+    CellFailed,
+    CellResumed,
+    CellRetried,
+    ReplayedEvent,
+    jsonable,
+)
+from ..obs.observe import Observation, resolve_obs
+from ..obs.sinks import JSONLSink
+from ..parallel.cache import CacheSpec, ConstructionCache
+from ..parallel.executor import (
+    _check_picklable,
+    init_worker_cache,
+    resolve_workers,
+    sweep_cell_task,
+)
+from .journal import JOURNAL_NAME, JournalEntry, RunJournal, cell_key, load_journal
+from .retry import RetryPolicy
+
+__all__ = [
+    "WorkUnit",
+    "CellOutcome",
+    "RunStats",
+    "RunReport",
+    "ROWS_NAME",
+    "RESULTS_NAME",
+    "RUNNER_TRACE_NAME",
+    "measurement_fingerprint",
+    "canonical_json",
+    "execute_units",
+    "resilient_sweep_families",
+    "resilient_run_experiments",
+]
+
+#: File names written into a run directory next to the journal.
+ROWS_NAME = "rows.json"
+RESULTS_NAME = "results.json"
+RUNNER_TRACE_NAME = "runner.jsonl"
+
+#: Safety margin added to the per-cell deadline for pool startup latency.
+_DEADLINE_GRACE = 0.05
+
+
+def canonical_json(value: Any) -> Any:
+    """Round-trip ``value`` through JSON so fresh and journal-replayed
+    payloads are indistinguishable (tuples become lists *now*, not only
+    after a resume)."""
+    return json.loads(json.dumps(jsonable(value)))
+
+
+def measurement_fingerprint(measurement: Any) -> str:
+    """A stable textual identity for a measurement, used in journal keys.
+
+    ``functools.partial`` unwraps to ``module.qualname(bound args)``, so
+    seeded variants of one grid measurement key separately.
+    """
+    if isinstance(measurement, functools.partial):
+        inner = measurement_fingerprint(measurement.func)
+        bits = [repr(a) for a in measurement.args]
+        bits += [f"{k}={v!r}" for k, v in sorted(measurement.keywords.items())]
+        return f"{inner}({', '.join(bits)})"
+    module = getattr(measurement, "__module__", None) or "?"
+    qualname = getattr(measurement, "__qualname__", None) or repr(measurement)
+    return f"{module}.{qualname}"
+
+
+@dataclass(frozen=True)
+class WorkUnit:
+    """One journalable unit of work: identity + the picklable task."""
+
+    experiment: str
+    cell: str
+    seed: Any
+    fn: Callable[..., Any]
+    args: Tuple[Any, ...]
+    meta: Tuple[Tuple[str, Any], ...] = ()
+
+    @property
+    def key(self) -> str:
+        return cell_key(self.experiment, self.cell, self.seed)
+
+    @property
+    def meta_dict(self) -> Dict[str, Any]:
+        return dict(self.meta)
+
+
+@dataclass
+class CellOutcome:
+    """How one unit of work settled."""
+
+    unit: WorkUnit
+    status: str  # "done" | "failed"
+    attempts: int
+    row: Optional[Dict[str, Any]] = None
+    events: List[Dict[str, Any]] = field(default_factory=list)
+    resumed: bool = False
+    error: Optional[str] = None
+    detail: Optional[str] = None
+
+
+@dataclass
+class RunStats:
+    """End-of-run accounting, printed as the runner summary."""
+
+    done: int = 0
+    resumed: int = 0
+    failed: int = 0
+    retries: int = 0
+    attempt_failures: int = 0
+    pool_recycles: int = 0
+    corrupt_journal_lines: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.failed == 0
+
+    def summary_line(self) -> str:
+        parts = [f"{self.done} cell(s) done"]
+        if self.resumed:
+            parts[0] += f" ({self.resumed} replayed from journal)"
+        parts.append(f"{self.failed} failed")
+        if self.retries:
+            parts.append(f"{self.retries} retry(ies)")
+        if self.pool_recycles:
+            parts.append(f"{self.pool_recycles} pool recycle(s)")
+        if self.corrupt_journal_lines:
+            parts.append(f"{self.corrupt_journal_lines} corrupt journal line(s)")
+        return "runner: " + ", ".join(parts)
+
+
+@dataclass
+class RunReport:
+    """What a resilient front-end returns: payload + fault accounting."""
+
+    stats: RunStats
+    rows: Optional[List[Dict[str, Any]]] = None
+    results: Optional[Dict[str, Any]] = None
+    run_dir: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.stats.ok
+
+
+# ----------------------------------------------------------------------
+# Pool hosting
+# ----------------------------------------------------------------------
+class _PoolHost:
+    """A recyclable process pool: crashes and hangs are cured by
+    terminating every worker and starting fresh."""
+
+    def __init__(self, workers: int, cache_spec: Optional[CacheSpec]) -> None:
+        self.workers = workers
+        self.cache_spec = cache_spec
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    def submit(self, fn: Callable[..., Any], *args: Any) -> Future:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers,
+                initializer=init_worker_cache,
+                initargs=(self.cache_spec,),
+            )
+        return self._pool.submit(fn, *args)
+
+    def recycle(self) -> None:
+        self.shutdown()
+
+    def shutdown(self) -> None:
+        pool, self._pool = self._pool, None
+        if pool is None:
+            return
+        # Hung workers would block a graceful shutdown forever; kill them.
+        # (_processes is private but stable; degrade to a plain shutdown
+        # if it ever disappears.)
+        procs = list((getattr(pool, "_processes", None) or {}).values())
+        pool.shutdown(wait=False, cancel_futures=True)
+        for proc in procs:
+            if proc.is_alive():
+                proc.terminate()
+        for proc in procs:
+            proc.join(timeout=5)
+            if proc.is_alive():
+                proc.kill()
+
+
+@dataclass
+class _Flight:
+    """Bookkeeping for one submitted attempt."""
+
+    unit: WorkUnit
+    attempts: int  # attempts consumed *before* this one
+    deadline: Optional[float]
+    solo: bool
+
+
+Normalize = Callable[[Any], Tuple[Optional[Dict[str, Any]], List[Dict[str, Any]]]]
+
+
+def _default_normalize(payload: Any) -> Tuple[Optional[Dict[str, Any]], List[Dict[str, Any]]]:
+    return canonical_json(payload), []
+
+
+# ----------------------------------------------------------------------
+# The core loop
+# ----------------------------------------------------------------------
+def execute_units(
+    units: Sequence[WorkUnit],
+    *,
+    workers: int,
+    policy: RetryPolicy,
+    journal: Optional[RunJournal] = None,
+    journaled: Optional[Dict[str, JournalEntry]] = None,
+    runner_obs: Optional[Observation] = None,
+    cache_spec: Optional[CacheSpec] = None,
+    normalize: Optional[Normalize] = None,
+) -> Tuple[Dict[str, CellOutcome], RunStats]:
+    """Run every unit to a settled outcome, fault-tolerantly.
+
+    Returns outcomes keyed by :attr:`WorkUnit.key` — completion order is
+    irrelevant; callers merge in their own canonical order.  ``journaled``
+    entries with status ``done`` are replayed without recomputation
+    (``failed`` entries get a fresh chance).  ``runner_obs`` receives the
+    fault/retry/resume telemetry; the deterministic result stream is the
+    caller's business entirely.
+    """
+    obs = resolve_obs(runner_obs)
+    normalize = normalize or _default_normalize
+    stats = RunStats()
+    outcomes: Dict[str, CellOutcome] = {}
+    pending: deque = deque()
+    suspects: deque = deque()
+
+    for unit in units:
+        entry = (journaled or {}).get(unit.key)
+        if entry is not None and entry.status == "done":
+            outcomes[unit.key] = CellOutcome(
+                unit,
+                "done",
+                attempts=entry.attempts,
+                row=entry.row,
+                events=list(entry.events),
+                resumed=True,
+            )
+            stats.resumed += 1
+            stats.done += 1
+            if obs.enabled:
+                obs.emit(CellResumed(experiment=unit.experiment, cell=unit.cell))
+        else:
+            pending.append((unit, 0))
+
+    if not pending:
+        return outcomes, stats
+
+    # A hard ceiling on pool recycles: every recycle charges at least one
+    # attempt somewhere, so a healthy run can never exceed the total
+    # attempt budget.  Tripping this means the pool itself cannot start.
+    max_recycles = len(pending) * policy.max_attempts + 8
+
+    pool = _PoolHost(workers, cache_spec)
+    in_flight: Dict[Future, _Flight] = {}
+
+    def settle_failed(flight: _Flight, error: str, detail: str) -> None:
+        unit = flight.unit
+        attempts = flight.attempts + 1
+        stats.attempt_failures += 1
+        if obs.enabled:
+            obs.emit(
+                CellAttemptFailed(
+                    experiment=unit.experiment,
+                    cell=unit.cell,
+                    attempt=attempts,
+                    error=error,
+                    detail=detail,
+                )
+            )
+        if attempts >= policy.max_attempts:
+            stats.failed += 1
+            if obs.enabled:
+                obs.emit(
+                    CellFailed(
+                        experiment=unit.experiment,
+                        cell=unit.cell,
+                        attempts=attempts,
+                        error=error,
+                        detail=detail,
+                    )
+                )
+            outcomes[unit.key] = CellOutcome(
+                unit, "failed", attempts=attempts, error=error, detail=detail
+            )
+            if journal is not None:
+                journal.append(
+                    JournalEntry(
+                        key=unit.key,
+                        experiment=unit.experiment,
+                        cell=unit.cell,
+                        seed=unit.seed,
+                        status="failed",
+                        attempts=attempts,
+                        error=error,
+                        detail=detail,
+                    )
+                )
+        else:
+            delay = policy.delay(attempts)
+            stats.retries += 1
+            if obs.enabled:
+                obs.emit(
+                    CellRetried(
+                        experiment=unit.experiment,
+                        cell=unit.cell,
+                        attempt=attempts,
+                        delay_s=delay,
+                    )
+                )
+            if delay:
+                time.sleep(delay)
+            # Once suspect, always solo: keeps crash attribution exact.
+            (suspects if flight.solo else pending).append((unit, attempts))
+
+    def settle_done(flight: _Flight, payload: Any) -> None:
+        unit = flight.unit
+        row, events = normalize(payload)
+        attempts = flight.attempts + 1
+        outcomes[unit.key] = CellOutcome(
+            unit, "done", attempts=attempts, row=row, events=events
+        )
+        stats.done += 1
+        if journal is not None:
+            journal.append(
+                JournalEntry(
+                    key=unit.key,
+                    experiment=unit.experiment,
+                    cell=unit.cell,
+                    seed=unit.seed,
+                    status="done",
+                    attempts=attempts,
+                    row=row,
+                    events=events,
+                )
+            )
+
+    def submit(unit: WorkUnit, attempts: int, solo: bool) -> None:
+        deadline = (
+            time.monotonic() + policy.timeout + _DEADLINE_GRACE
+            if policy.timeout is not None
+            else None
+        )
+        future = pool.submit(unit.fn, *unit.args)
+        in_flight[future] = _Flight(unit, attempts, deadline, solo)
+
+    try:
+        while pending or suspects or in_flight:
+            if not in_flight and suspects:
+                unit, attempts = suspects.popleft()
+                submit(unit, attempts, solo=True)
+            elif not suspects:
+                while pending and len(in_flight) < workers:
+                    unit, attempts = pending.popleft()
+                    submit(unit, attempts, solo=False)
+            if not in_flight:
+                continue
+
+            poll: Optional[float] = None
+            if policy.timeout is not None:
+                nearest = min(
+                    f.deadline for f in in_flight.values() if f.deadline is not None
+                )
+                poll = max(0.0, nearest - time.monotonic()) + _DEADLINE_GRACE
+            done, _ = wait(set(in_flight), timeout=poll, return_when=FIRST_COMPLETED)
+
+            broke = False
+            for future in done:
+                flight = in_flight.pop(future)
+                try:
+                    payload = future.result()
+                except BrokenExecutor:
+                    broke = True
+                    if flight.solo:
+                        # Running alone: this cell provably killed its worker.
+                        settle_failed(
+                            flight,
+                            "WorkerCrash",
+                            "worker process died while running this cell",
+                        )
+                    else:
+                        # Culprit unknown — re-run solo, free of charge.
+                        suspects.append((flight.unit, flight.attempts))
+                except Exception as exc:  # the task itself raised; pool is fine
+                    settle_failed(flight, type(exc).__name__, str(exc))
+                else:
+                    settle_done(flight, payload)
+
+            if broke:
+                # The pool is dead; cells still marked in-flight died with it.
+                for flight in in_flight.values():
+                    suspects.append((flight.unit, flight.attempts))
+                in_flight.clear()
+                stats.pool_recycles += 1
+                if stats.pool_recycles > max_recycles:
+                    raise RuntimeError(
+                        "runner: worker pool kept breaking "
+                        f"({stats.pool_recycles} recycles); giving up"
+                    )
+                pool.recycle()
+                continue
+
+            if policy.timeout is not None and in_flight:
+                now = time.monotonic()
+                expired = [
+                    future
+                    for future, flight in in_flight.items()
+                    if flight.deadline is not None and now >= flight.deadline
+                ]
+                if expired:
+                    expired_flights = [in_flight.pop(future) for future in expired]
+                    survivors = list(in_flight.values())
+                    in_flight.clear()
+                    stats.pool_recycles += 1
+                    if stats.pool_recycles > max_recycles:
+                        raise RuntimeError(
+                            "runner: worker pool kept breaking "
+                            f"({stats.pool_recycles} recycles); giving up"
+                        )
+                    pool.recycle()
+                    for flight in expired_flights:
+                        settle_failed(
+                            flight,
+                            "TimeoutError",
+                            f"cell exceeded its {policy.timeout}s wall-clock budget",
+                        )
+                    for flight in survivors:
+                        # Collateral of the recycle: resubmit, no attempt charged.
+                        pending.appendleft((flight.unit, flight.attempts))
+    finally:
+        pool.shutdown()
+
+    return outcomes, stats
+
+
+# ----------------------------------------------------------------------
+# Front-end: sweeps
+# ----------------------------------------------------------------------
+def _sweep_normalize(payload: Any) -> Tuple[Dict[str, Any], List[Dict[str, Any]]]:
+    row, events = payload
+    return canonical_json(row), [canonical_json(e.to_dict()) for e in events]
+
+
+def _open_runner_obs(run_dir: str) -> Tuple[Observation, Any]:
+    """The run directory's fault-telemetry stream, opened for append so a
+    resumed run extends (never truncates) the interrupted run's record."""
+    stream = open(os.path.join(run_dir, RUNNER_TRACE_NAME), "a", encoding="utf-8")
+    return Observation(JSONLSink(stream)), stream
+
+
+def _prepare_run_dir(
+    run_dir: Optional[str],
+) -> Tuple[Optional[RunJournal], Dict[str, JournalEntry], int]:
+    if run_dir is None:
+        return None, {}, 0
+    os.makedirs(run_dir, exist_ok=True)
+    path = os.path.join(run_dir, JOURNAL_NAME)
+    entries, corrupt = load_journal(path)
+    return RunJournal(path), entries, corrupt
+
+
+def resilient_sweep_families(
+    sizes: Sequence[int],
+    measurement: Measurement,
+    families: Optional[Sequence[str]] = None,
+    obs: Optional[Observation] = None,
+    workers: Optional[int] = None,
+    cache: Optional[ConstructionCache] = None,
+    policy: Optional[RetryPolicy] = None,
+    run_dir: Optional[str] = None,
+    runner_obs: Optional[Observation] = None,
+    label: Optional[str] = None,
+) -> RunReport:
+    """:func:`repro.parallel.parallel_sweep_families`, fault-tolerantly.
+
+    Same grid, same rows, same deterministic event stream into ``obs`` —
+    plus per-cell timeout/retry (``policy``), crash isolation, and a
+    journaled ``run_dir`` that makes the run resumable.  Failed cells
+    degrade to structured rows ``{"family", "n", "requested_n",
+    "failed": True, "error", "detail", "attempts"}``; check
+    ``report.stats.failed`` (the CLI turns it into a nonzero exit).
+    """
+    workers = resolve_workers(workers)
+    policy = policy or RetryPolicy()
+    obs = resolve_obs(obs)
+    chosen = list(families) if families is not None else sorted(FAMILY_BUILDERS)
+    for family in chosen:
+        if family not in FAMILY_BUILDERS:
+            raise KeyError(family)
+    _check_picklable(measurement, "measurement")
+
+    experiment = label or f"sweep:{measurement_fingerprint(measurement)}"
+    units = [
+        WorkUnit(
+            experiment=experiment,
+            cell=f"{family}:{n}",
+            seed="",
+            fn=sweep_cell_task,
+            args=(family, n, measurement, True),
+            meta=(("family", family), ("n", n)),
+        )
+        for family in chosen
+        for n in sizes
+    ]
+
+    journal, journaled, corrupt = _prepare_run_dir(run_dir)
+    own_stream = None
+    if runner_obs is None and run_dir is not None:
+        runner_obs, own_stream = _open_runner_obs(run_dir)
+    try:
+        outcomes, stats = execute_units(
+            units,
+            workers=workers,
+            policy=policy,
+            journal=journal,
+            journaled=journaled,
+            runner_obs=runner_obs,
+            cache_spec=cache.spec() if cache is not None else None,
+            normalize=_sweep_normalize,
+        )
+    finally:
+        if journal is not None:
+            journal.close()
+        if own_stream is not None:
+            runner_obs.close()
+            own_stream.close()
+    stats.corrupt_journal_lines = corrupt
+
+    rows: List[Dict[str, Any]] = []
+    for unit in units:
+        outcome = outcomes[unit.key]
+        if outcome.status == "done":
+            rows.append(outcome.row)
+            if obs.enabled:
+                for event in outcome.events:
+                    obs.emit(ReplayedEvent(event))
+        else:
+            meta = unit.meta_dict
+            rows.append(
+                failed_row(
+                    meta["family"],
+                    meta["n"],
+                    outcome.error or "Error",
+                    outcome.detail or "",
+                    outcome.attempts,
+                )
+            )
+    if run_dir is not None:
+        with open(os.path.join(run_dir, ROWS_NAME), "w", encoding="utf-8") as handle:
+            json.dump(rows, handle, indent=2)
+            handle.write("\n")
+    return RunReport(stats=stats, rows=rows, run_dir=run_dir)
+
+
+# ----------------------------------------------------------------------
+# Front-end: registry experiments
+# ----------------------------------------------------------------------
+def experiment_result_to_dict(result: Any) -> Dict[str, Any]:
+    """Serialize an :class:`~repro.analysis.result.ExperimentResult` for
+    the journal (JSON-canonical, so replay is byte-stable)."""
+    return canonical_json(
+        {
+            "experiment": result.experiment,
+            "title": result.title,
+            "rows": result.rows,
+            "findings": result.findings,
+            "columns": list(result.columns) if result.columns is not None else None,
+        }
+    )
+
+
+def experiment_result_from_dict(data: Dict[str, Any]) -> Any:
+    from ..analysis.result import ExperimentResult
+
+    return ExperimentResult(
+        experiment=data["experiment"],
+        title=data["title"],
+        rows=data["rows"],
+        findings=data["findings"],
+        columns=data["columns"],
+    )
+
+
+def serialized_experiment_task(experiment_id: str, kwargs: Dict[str, Any]) -> Dict[str, Any]:
+    """Worker entry point: run one registry experiment, return it as the
+    JSON-canonical dict the journal stores."""
+    from ..parallel.executor import experiment_task
+
+    return experiment_result_to_dict(experiment_task(experiment_id, kwargs))
+
+
+def resilient_run_experiments(
+    ids: Sequence[str],
+    workers: Optional[int] = None,
+    cache: Optional[ConstructionCache] = None,
+    kwargs_by_id: Optional[Dict[str, Dict[str, Any]]] = None,
+    policy: Optional[RetryPolicy] = None,
+    run_dir: Optional[str] = None,
+    runner_obs: Optional[Observation] = None,
+) -> RunReport:
+    """:func:`repro.parallel.run_experiments`, fault-tolerantly.
+
+    Each experiment id is one journaled unit of work.  ``report.results``
+    maps the requested ids (in request order) to
+    :class:`~repro.analysis.result.ExperimentResult`; an experiment that
+    exhausts its retries maps to a synthesized failure result whose single
+    row is the structured ``failed`` record.  With a ``run_dir`` the
+    merged payload also lands in ``results.json`` for byte-level diffing.
+    """
+    from ..analysis.experiments import EXPERIMENTS
+    from ..analysis.result import ExperimentResult
+
+    workers = resolve_workers(workers)
+    policy = policy or RetryPolicy()
+    kwargs_by_id = kwargs_by_id or {}
+    for eid in ids:
+        if eid.upper() not in EXPERIMENTS:
+            raise ValueError(
+                f"unknown experiment {eid!r}; have {sorted(EXPERIMENTS)}"
+            )
+
+    units = [
+        WorkUnit(
+            experiment=eid.upper(),
+            cell=json.dumps(kwargs_by_id.get(eid, {}), sort_keys=True, default=repr),
+            seed="",
+            fn=serialized_experiment_task,
+            args=(eid, kwargs_by_id.get(eid, {})),
+        )
+        for eid in ids
+    ]
+
+    journal, journaled, corrupt = _prepare_run_dir(run_dir)
+    own_stream = None
+    if runner_obs is None and run_dir is not None:
+        runner_obs, own_stream = _open_runner_obs(run_dir)
+    try:
+        outcomes, stats = execute_units(
+            units,
+            workers=workers,
+            policy=policy,
+            journal=journal,
+            journaled=journaled,
+            runner_obs=runner_obs,
+            cache_spec=cache.spec() if cache is not None else None,
+        )
+    finally:
+        if journal is not None:
+            journal.close()
+        if own_stream is not None:
+            runner_obs.close()
+            own_stream.close()
+    stats.corrupt_journal_lines = corrupt
+
+    results: Dict[str, Any] = {}
+    serialized: Dict[str, Any] = {}
+    for eid, unit in zip(ids, units):
+        outcome = outcomes[unit.key]
+        if outcome.status == "done":
+            results[eid] = experiment_result_from_dict(outcome.row)
+            serialized[eid] = outcome.row
+        else:
+            failure = {
+                "experiment": eid.upper(),
+                "failed": True,
+                "error": outcome.error,
+                "detail": outcome.detail,
+                "attempts": outcome.attempts,
+            }
+            results[eid] = ExperimentResult(
+                experiment=eid.upper(),
+                title="FAILED",
+                rows=[failure],
+                findings=[
+                    f"failed after {outcome.attempts} attempt(s): "
+                    f"{outcome.error}: {outcome.detail}"
+                ],
+            )
+            serialized[eid] = failure
+    if run_dir is not None:
+        with open(os.path.join(run_dir, RESULTS_NAME), "w", encoding="utf-8") as handle:
+            json.dump(serialized, handle, indent=2)
+            handle.write("\n")
+    return RunReport(stats=stats, results=results, run_dir=run_dir)

@@ -1,0 +1,181 @@
+"""The on-disk run journal: one JSON line per settled unit of work.
+
+The journal is the durability layer of :mod:`repro.runner`.  Every time a
+cell of a run settles — measured successfully, or failed after exhausting
+its retry budget — the runner appends one line to
+``<run_dir>/journal.jsonl`` and flushes + fsyncs it, so a crash of the
+*parent* process loses at most the cell in flight.  ``--resume`` then
+reads the journal back, skips every ``done`` cell, and re-emits its row
+and captured telemetry events verbatim, which is what keeps a resumed
+run's rows, JSONL trace, and metrics byte-identical to an uninterrupted
+one.
+
+Entries are keyed by the same content-address scheme as the construction
+cache (:func:`repro.parallel.cache.content_address`):
+``sha256(schema|experiment|cell|seed)``.  Anything that changes what a
+cell computes — a different measurement, grid coordinate, or seed — must
+change the key, so resuming with different parameters simply misses the
+journal and recomputes.
+
+Corrupted lines (a torn write from a crash mid-append, manual editing)
+are **warnings, not errors**: the loader skips them, reports them, and
+the affected cells are recomputed.  ``failed`` entries are also not
+replayed on resume — a resumed run gives previously failed cells a fresh
+chance.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import warnings
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..parallel.cache import content_address
+
+__all__ = [
+    "JOURNAL_SCHEMA",
+    "JOURNAL_NAME",
+    "JournalEntry",
+    "RunJournal",
+    "cell_key",
+    "load_journal",
+]
+
+#: Version tag mixed into every journal key and record; bump when the
+#: entry format changes (old journals then miss cleanly and recompute).
+JOURNAL_SCHEMA = "repro-runner/1"
+
+#: The journal's file name inside a run directory.
+JOURNAL_NAME = "journal.jsonl"
+
+
+def cell_key(experiment: str, cell: str, seed: Any) -> str:
+    """The content address of one unit of work:
+    ``sha256(schema|experiment|cell|seed)``."""
+    return content_address(JOURNAL_SCHEMA, experiment, cell, seed)
+
+
+@dataclass
+class JournalEntry:
+    """One settled unit of work: its identity, outcome, and payload.
+
+    ``row`` is the cell's result row (JSON-canonical); ``events`` are the
+    telemetry event dicts captured while the cell ran, re-emitted verbatim
+    on resume.  ``status`` is ``"done"`` or ``"failed"``.
+    """
+
+    key: str
+    experiment: str
+    cell: str
+    seed: Any
+    status: str
+    attempts: int = 1
+    row: Optional[Dict[str, Any]] = None
+    events: List[Dict[str, Any]] = field(default_factory=list)
+    error: Optional[str] = None
+    detail: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": JOURNAL_SCHEMA,
+            "key": self.key,
+            "experiment": self.experiment,
+            "cell": self.cell,
+            "seed": self.seed,
+            "status": self.status,
+            "attempts": self.attempts,
+            "row": self.row,
+            "events": self.events,
+            "error": self.error,
+            "detail": self.detail,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "JournalEntry":
+        return cls(
+            key=data["key"],
+            experiment=data["experiment"],
+            cell=data["cell"],
+            seed=data.get("seed"),
+            status=data["status"],
+            attempts=int(data.get("attempts", 1)),
+            row=data.get("row"),
+            events=list(data.get("events") or ()),
+            error=data.get("error"),
+            detail=data.get("detail"),
+        )
+
+
+class RunJournal:
+    """Append-only JSONL journal with crash-tolerant durability.
+
+    :meth:`append` writes one compact JSON line, flushes, and fsyncs —
+    after it returns, the entry survives a SIGKILL of the parent.  The
+    handle opens lazily in append mode, so constructing a journal for a
+    fresh run directory is free and resuming appends after existing
+    entries.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._handle = None
+
+    def append(self, entry: JournalEntry) -> None:
+        if self._handle is None:
+            directory = os.path.dirname(self.path)
+            if directory:
+                os.makedirs(directory, exist_ok=True)
+            self._handle = open(self.path, "a", encoding="utf-8")
+        line = json.dumps(entry.to_dict(), separators=(",", ":"))
+        self._handle.write(line + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def close(self) -> None:
+        handle, self._handle = self._handle, None
+        if handle is not None:
+            handle.close()
+
+    def __enter__(self) -> "RunJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def load_journal(path: str) -> Tuple[Dict[str, JournalEntry], int]:
+    """Read a journal back: ``(entries by key, corrupt line count)``.
+
+    Corrupted lines — torn writes, wrong schema, missing fields — are
+    skipped with a :class:`UserWarning` naming the line, and count toward
+    the second return value; the affected cells are simply recomputed.
+    A missing file is an empty journal, not an error (the caller decides
+    whether an absent *run directory* is one).  Duplicate keys keep the
+    last entry, so a retried-then-settled cell reads back settled.
+    """
+    entries: Dict[str, JournalEntry] = {}
+    corrupt = 0
+    if not os.path.exists(path):
+        return entries, corrupt
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                data = json.loads(line)
+                if not isinstance(data, dict) or data.get("schema") != JOURNAL_SCHEMA:
+                    raise ValueError(f"not a {JOURNAL_SCHEMA} record")
+                entry = JournalEntry.from_dict(data)
+            except (ValueError, KeyError, TypeError) as exc:
+                corrupt += 1
+                warnings.warn(
+                    f"{path}:{lineno}: corrupted journal line ({exc}); "
+                    f"the affected cell will be recomputed",
+                    stacklevel=2,
+                )
+                continue
+            entries[entry.key] = entry
+    return entries, corrupt

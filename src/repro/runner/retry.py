@@ -1,0 +1,61 @@
+"""Retry and timeout policy for the fault-tolerant runner.
+
+One small value object so every layer — CLI flags, the runner core, the
+tests — talks about fault handling in the same terms: a per-cell
+``timeout`` (seconds of wall clock from the moment the cell is handed to
+a worker), a bounded number of ``retries`` after the first attempt, and
+exponential backoff between attempts.  Backoff sleeps happen in the
+*parent*, between resubmissions, so they never perturb the deterministic
+result stream; with ``backoff_base=0`` (the tests' setting) retries are
+immediate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["RetryPolicy", "DEFAULT_RETRIES"]
+
+#: Default retry budget when the CLI enables the runner without ``--retries``.
+DEFAULT_RETRIES = 2
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How hard to try one unit of work before degrading it to a
+    ``failed`` row.
+
+    ``retries`` is the number of *re*-attempts: a cell runs at most
+    ``retries + 1`` times.  ``timeout`` of ``None`` disables the per-cell
+    deadline.  The delay before re-attempt ``k`` (1-based) is
+    ``backoff_base * backoff_factor ** (k - 1)`` seconds.
+    """
+
+    retries: int = DEFAULT_RETRIES
+    timeout: Optional[float] = None
+    backoff_base: float = 0.25
+    backoff_factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.retries < 0:
+            raise ValueError(f"retries must be >= 0, got {self.retries}")
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError(f"timeout must be positive, got {self.timeout}")
+        if self.backoff_base < 0:
+            raise ValueError(f"backoff_base must be >= 0, got {self.backoff_base}")
+        if self.backoff_factor < 1.0:
+            raise ValueError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}"
+            )
+
+    @property
+    def max_attempts(self) -> int:
+        """Total attempts a cell may consume (first try + retries)."""
+        return self.retries + 1
+
+    def delay(self, attempt: int) -> float:
+        """Seconds to back off before re-attempt ``attempt`` (1-based)."""
+        if attempt < 1:
+            raise ValueError(f"attempt must be >= 1, got {attempt}")
+        return self.backoff_base * self.backoff_factor ** (attempt - 1)

@@ -68,6 +68,74 @@ class TestArgparseBehaviour:
             main(["frobnicate"])
 
 
+class TestFailurePaths:
+    """Bad invocations exit with code 2 and a clear message — never a
+    traceback."""
+
+    def test_invalid_workers_zero(self, capsys):
+        assert main(["experiment", "E3", "--workers", "0"]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "workers must be >= 1" in err
+
+    def test_invalid_workers_negative(self, capsys):
+        assert main(["exp", "E3", "--workers", "-4"]) == 2
+        assert "workers must be >= 1" in capsys.readouterr().err
+
+    def test_invalid_trace_level_rejected_by_argparse(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["trace", "--trace-level", "verbose"])
+        assert excinfo.value.code == 2
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_invalid_retries(self, capsys):
+        assert main(["experiment", "E3", "--retries", "-1"]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "retries" in err
+
+    def test_invalid_timeout(self, capsys):
+        assert main(["experiment", "E3", "--timeout", "0"]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "timeout" in err
+
+    def test_missing_resume_directory(self, capsys):
+        assert main(["experiment", "E3", "--resume", "does/not/exist"]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "does/not/exist" in err
+
+
+class TestResilientRuns:
+    def test_run_dir_then_resume_replays(self, tmp_path, capsys):
+        run_dir = str(tmp_path / "run")
+        assert main(["experiment", "E3", "--run-dir", run_dir]) == 0
+        first = capsys.readouterr().out
+        assert "[E3]" in first
+        assert "runner: 1 cell(s) done, 0 failed" in first
+
+        assert main(["experiment", "E3", "--resume", run_dir]) == 0
+        second = capsys.readouterr().out
+        assert "[E3]" in second
+        assert "1 replayed from journal" in second
+        # the experiment table itself is byte-identical
+        strip = lambda s: [l for l in s.splitlines() if not l.startswith("runner:")]
+        assert strip(first) == strip(second)
+
+    def test_corrupted_journal_line_warns_and_recomputes(self, tmp_path, capsys):
+        import os
+
+        run_dir = str(tmp_path / "run")
+        assert main(["experiment", "E3", "--run-dir", run_dir]) == 0
+        capsys.readouterr()
+        with open(os.path.join(run_dir, "journal.jsonl"), "w", encoding="utf-8") as f:
+            f.write("{not json at all\n")
+        with pytest.warns(UserWarning, match="corrupted journal line"):
+            assert main(["experiment", "E3", "--resume", run_dir]) == 0
+        out = capsys.readouterr().out
+        assert "[E3]" in out
+        assert "1 cell(s) done, 0 failed" in out
+        assert "replayed" not in out  # nothing valid to replay: recomputed
+        assert "1 corrupt journal line(s)" in out
+
+
 class TestReport:
     def test_writes_markdown(self, tmp_path, capsys):
         path = str(tmp_path / "report.md")
