@@ -31,13 +31,30 @@ BENCH_NAME = "test_engine_per_delivery"
 GATED_SUFFIXES = ("_fast_ns", "_counters_ns")
 
 
+def _usage_error(message: str) -> None:
+    """Setup/input problems exit 2, distinct from a perf regression (1)."""
+    print(f"error: {message}", file=sys.stderr)
+    raise SystemExit(2)
+
+
 def per_delivery_numbers(path: str) -> Dict[str, float]:
-    """The gated per-delivery keys from one repro-bench/1 export."""
-    with open(path, "r", encoding="utf-8") as handle:
-        data = json.load(handle)
+    """The gated per-delivery keys from one repro-bench/1 export.
+
+    A missing or unparsable file is a harness/setup problem, not a perf
+    verdict: report it as a usage error (exit 2) instead of a traceback.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    except OSError as exc:
+        _usage_error(f"cannot read BENCH file {path!r}: {exc}")
+    except json.JSONDecodeError as exc:
+        _usage_error(f"BENCH file {path!r} is not valid JSON: {exc}")
+    if not isinstance(data, dict):
+        _usage_error(f"BENCH file {path!r} is not a JSON object")
     schema = data.get("schema")
     if schema != "repro-bench/1":
-        raise SystemExit(f"{path}: unexpected schema {schema!r}")
+        _usage_error(f"{path}: unexpected schema {schema!r}")
     for bench in data.get("benchmarks", []):
         if bench.get("name") == BENCH_NAME:
             info = bench.get("extra_info", {})
@@ -46,7 +63,7 @@ def per_delivery_numbers(path: str) -> Dict[str, float]:
                 for key, value in info.items()
                 if key.endswith(GATED_SUFFIXES) or key.endswith("_legacy_ns")
             }
-    raise SystemExit(f"{path}: no {BENCH_NAME} record")
+    _usage_error(f"{path}: no {BENCH_NAME} record")
 
 
 def main(argv=None) -> int:

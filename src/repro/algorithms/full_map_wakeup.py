@@ -22,7 +22,7 @@ from typing import Hashable, List, Optional
 
 from ..core.scheme import Algorithm
 from ..encoding import BitString
-from ..network.graph import PortLabeledGraph
+from ..network.graph import PortLabeledGraph, label_key
 from ..oracles.full_map import decode_indexed_map
 from ..simulator.node import NodeContext
 from .tree_wakeup import SOURCE_MESSAGE
@@ -33,7 +33,7 @@ __all__ = ["FullMapWakeup", "supports"]
 def supports(graph: PortLabeledGraph) -> bool:
     """True when the graph satisfies this algorithm's contract:
     the source is the node with the smallest label (index 0 in the map)."""
-    return graph.source == min(graph.nodes(), key=repr)
+    return graph.source == min(graph.nodes(), key=label_key)
 
 
 def _children_ports(tables: List[List[int]], own: int) -> List[int]:

@@ -31,8 +31,14 @@ Commands
     List the available experiments and the algorithm registry (with each
     algorithm's declared ``wakeup`` / ``anonymous_safe`` claims).
 ``lint [paths ...] [--format text|json] [--select ...] [--ignore ...]``
-    Static model-compliance linter (rules MDL001-MDL005) over scheme,
-    algorithm, and oracle source; exits nonzero on findings.
+    Static analysis: model-compliance rules (MDL001-MDL005) over scheme,
+    algorithm, and oracle source, plus the determinism sanitizer
+    (DET001-DET008) over the whole codebase; exits nonzero on findings
+    not covered by the committed ``lint_baseline.json``.
+``sanitize [--hash-seeds S1,S2,...] [--cells NAME,...]``
+    Hash-randomization stress harness: re-runs a smoke grid under several
+    ``PYTHONHASHSEED`` values and both engines, byte-diffing the canonical
+    trace blobs; exits nonzero on any divergence.
 ``trace --task broadcast --family kstar --n 64 --out run.jsonl``
     Run one task with full telemetry and export the structured event
     stream as JSONL (plus a wall-time-per-phase table on stdout).
@@ -202,26 +208,76 @@ def _cmd_lint(
     select: Optional[str],
     ignore: Optional[str],
     list_rules: bool,
+    baseline: Optional[str] = None,
+    no_baseline: bool = False,
+    write_baseline_to: Optional[str] = None,
 ) -> int:
-    from .lint import LintError, format_json, format_text, lint_paths, rule_catalog
+    from .lint import (
+        DEFAULT_BASELINE_NAME,
+        BaselineError,
+        LintError,
+        apply_baseline,
+        det_rule_catalog,
+        format_json,
+        format_text,
+        iter_python_files,
+        lint_paths,
+        load_baseline,
+        rule_catalog,
+        selected_codes,
+        write_baseline,
+    )
 
     if list_rules:
         print(rule_catalog())
+        print(det_rule_catalog())
         return 0
+    lint_targets = paths or ["src/repro"]
+    select_list = select.split(",") if select else None
+    ignore_list = ignore.split(",") if ignore else None
     try:
-        findings = lint_paths(
-            paths or ["src/repro"],
-            select=select.split(",") if select else None,
-            ignore=ignore.split(",") if ignore else None,
-        )
+        findings = lint_paths(lint_targets, select=select_list, ignore=ignore_list)
     except LintError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    if write_baseline_to is not None:
+        count = write_baseline(findings, write_baseline_to)
+        print(
+            f"wrote {count} entr{'y' if count == 1 else 'ies'} to "
+            f"{write_baseline_to} — fill in every reason before committing"
+        )
+        return 0
+    stale: List = []
+    if not no_baseline:
+        baseline_path = baseline
+        if baseline_path is None and os.path.isfile(DEFAULT_BASELINE_NAME):
+            baseline_path = DEFAULT_BASELINE_NAME
+        if baseline_path is not None:
+            try:
+                entries = load_baseline(baseline_path)
+            except BaselineError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+            # Staleness is judged only against what this invocation could
+            # have re-found: the rules that ran over the files that were
+            # linted.  Linting tests/fixtures must not condemn src entries.
+            findings, _accepted, stale = apply_baseline(
+                findings,
+                entries,
+                linted_paths=list(iter_python_files(lint_targets)),
+                active_codes=selected_codes(select_list, ignore_list),
+            )
     if output_format == "json":
         print(format_json(findings))
     else:
         print(format_text(findings))
-    return 1 if findings else 0
+    for entry in stale:
+        print(
+            f"error: stale baseline entry {entry.code} at {entry.path} "
+            f"({entry.snippet!r}) matched nothing — prune it",
+            file=sys.stderr,
+        )
+    return 1 if findings or stale else 0
 
 
 #: ``repro trace --oracle`` choices: a small named set covering the paper's
@@ -425,7 +481,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_cmp.add_argument("--n", type=int, default=64)
 
     p_lint = sub.add_parser(
-        "lint", help="static model-compliance checks (MDL001-MDL005)"
+        "lint",
+        help="static checks: model compliance (MDL001-MDL005) + determinism "
+        "sanitizer (DET001-DET008)",
     )
     p_lint.add_argument(
         "paths", nargs="*", metavar="PATH", help="files or directories (default: src/repro)"
@@ -435,6 +493,24 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_lint.add_argument("--ignore", default=None, help="comma-separated rule codes to skip")
     p_lint.add_argument(
         "--list-rules", action="store_true", help="print the rule catalog and exit"
+    )
+    p_lint.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help="accepted-findings file (default: ./lint_baseline.json when present)",
+    )
+    p_lint.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="report every finding, ignoring any baseline file",
+    )
+    p_lint.add_argument(
+        "--write-baseline",
+        default=None,
+        metavar="FILE",
+        dest="write_baseline",
+        help="regenerate FILE from current findings (reasons left as TODO) and exit",
     )
 
     p_trace = sub.add_parser(
@@ -479,6 +555,29 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_bench.add_argument("input", help="file written by pytest --benchmark-json=...")
     p_bench.add_argument("--out", default="BENCH_obs.json")
 
+    p_sanitize = sub.add_parser(
+        "sanitize",
+        help="hash-randomization stress harness: byte-diff a smoke grid "
+        "across PYTHONHASHSEED values and both engines",
+    )
+    p_sanitize.add_argument(
+        "--hash-seeds",
+        default=None,
+        metavar="S1,S2,...",
+        help="comma-separated PYTHONHASHSEED values (default: 0,1,4242)",
+    )
+    p_sanitize.add_argument(
+        "--cells",
+        default=None,
+        metavar="NAME,...",
+        help="subset of smoke cells to run (default: all)",
+    )
+    p_sanitize.add_argument(
+        "--run-cells",
+        default=None,
+        help=argparse.SUPPRESS,  # internal worker mode
+    )
+
     args = parser.parse_args(argv)
     if args.command in ("experiment", "exp"):
         return _cmd_experiment(
@@ -515,7 +614,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(format_comparison(graph))
         return 0
     if args.command == "lint":
-        return _cmd_lint(args.paths, args.format, args.select, args.ignore, args.list_rules)
+        return _cmd_lint(
+            args.paths, args.format, args.select, args.ignore, args.list_rules,
+            args.baseline, args.no_baseline, args.write_baseline,
+        )
     if args.command == "trace":
         return _cmd_trace(
             args.task, args.family, args.n, args.oracle, args.algorithm,
@@ -525,6 +627,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_stats(args.path)
     if args.command == "bench-export":
         return _cmd_bench_export(args.input, args.out)
+    if args.command == "sanitize":
+        from .sanitize import main as sanitize_main
+
+        return sanitize_main(args.hash_seeds, args.cells, args.run_cells)
     parser.error(f"unknown command {args.command!r}")
     return 2
 

@@ -28,7 +28,7 @@ import abc
 from typing import Dict, Hashable, Mapping
 
 from ..encoding import BitString, encode_fixed
-from ..network.graph import PortLabeledGraph
+from ..network.graph import PortLabeledGraph, label_key
 
 __all__ = [
     "AdviceMap",
@@ -118,7 +118,7 @@ class FullMapOracle(Oracle):
     @staticmethod
     def encode_graph(graph: PortLabeledGraph) -> BitString:
         """Serialize the network once (per-node advice is this same blob)."""
-        order = sorted(graph.nodes(), key=repr)
+        order = sorted(graph.nodes(), key=label_key)
         index = {v: i for i, v in enumerate(order)}
         n = len(order)
         width = max(1, n.bit_length())
@@ -150,7 +150,7 @@ class TruncatingOracle(Oracle):
         full = self._inner.advise(graph)
         remaining = self._budget
         out: Dict[Hashable, BitString] = {}
-        for v in sorted(full, key=repr):
+        for v in sorted(full, key=label_key):
             s = full[v]
             if remaining <= 0:
                 break
@@ -179,7 +179,8 @@ def advice_to_json(advice: AdviceMap) -> str:
     import json
 
     return json.dumps(
-        {repr(v): advice[v].to01() for v in sorted(advice, key=repr)}, sort_keys=True
+        {label_key(v): advice[v].to01() for v in sorted(advice, key=label_key)},
+        sort_keys=True,
     )
 
 

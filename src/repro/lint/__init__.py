@@ -1,11 +1,18 @@
-"""Static model-compliance linter: AST checks that schemes live inside
-the paper's model.
+"""Static analysis for the reproduction: model compliance + determinism.
 
-The replay audit (:mod:`repro.core.audit`) certifies model-faithfulness
-*dynamically*, for the histories one scheduler happened to produce.  This
-package is the static half: it parses scheme, algorithm, and oracle source
-with :mod:`ast` (stdlib only, no imports of the analyzed code) and reports
-violations of the Section 1.4 model as findings with stable rule codes:
+Two rule families run over one AST engine (stdlib :mod:`ast` only — the
+analyzed code is never imported):
+
+* **Model compliance** (``MDL001`` ... ``MDL005``, :mod:`repro.lint.rules`)
+  checks that schemes live inside the paper's Section 1.4 model — the
+  static half of what the replay audit certifies dynamically.
+* **Determinism sanitizer** (``DET001`` ... ``DET008``,
+  :mod:`repro.lint.determinism`) checks the whole codebase for the source
+  patterns that break the byte-identity contract: hash-order leaks,
+  wall-clock reads, global randomness, identity-based orderings, unsorted
+  directory listings, undocumented environment reads, order-dependent
+  float accumulation, and unthreaded seeds (a project-scope call-graph
+  analysis).
 
 ========  =====================================================
 MDL001    scheme code reaches into engine or graph internals
@@ -13,20 +20,44 @@ MDL002    anonymous-safe algorithm reads ``node_id``
 MDL003    hidden nondeterminism (wall clock, module-level RNG)
 MDL004    mutable class-level state shared across node instances
 MDL005    oracle advice built outside ``encoding.BitString``
+DET001    set iteration order flows into an ordered output
+DET002    wall clock/entropy outside the Observation.span registry
+DET003    process-global randomness anywhere
+DET004    id()/hash()/repr() in sort keys or content keys
+DET005    unsorted directory listings
+DET006    environment reads outside the REPRO_* allowlist
+DET007    float accumulation in set-iteration order
+DET008    seed not threaded through the call graph
 ========  =====================================================
 
-Run it as ``python -m repro lint [paths]``; see ``docs/LINTING.md`` for the
-full catalog and the ``# repro-lint: disable=MDLnnn`` suppression syntax.
+Run it as ``python -m repro lint [paths]`` (``--select DET`` for one
+family); accepted pre-existing sites live in the committed
+``lint_baseline.json`` with per-entry reasons.  See ``docs/LINTING.md``
+for the full catalog, the baseline workflow, and the
+``# repro-lint: disable=<code>`` suppression syntax.
 """
 
+from .baseline import (
+    BaselineEntry,
+    BaselineError,
+    DEFAULT_BASELINE_NAME,
+    apply_baseline,
+    load_baseline,
+    placeholder_reasons,
+    write_baseline,
+)
+from .determinism import DET_RULES, det_rule_catalog
 from .engine import (
     LintError,
     ModuleModel,
     PARSE_ERROR_CODE,
+    ProjectModel,
+    all_rules,
     iter_python_files,
     lint_file,
     lint_paths,
     lint_source,
+    selected_codes,
 )
 from .findings import Finding, Rule, format_json, format_text
 from .rules import RULES, rule_catalog
@@ -35,14 +66,26 @@ __all__ = [
     "Finding",
     "Rule",
     "RULES",
+    "DET_RULES",
     "rule_catalog",
+    "det_rule_catalog",
+    "all_rules",
     "LintError",
     "ModuleModel",
+    "ProjectModel",
     "PARSE_ERROR_CODE",
     "iter_python_files",
     "lint_file",
     "lint_paths",
     "lint_source",
+    "selected_codes",
     "format_text",
     "format_json",
+    "BaselineEntry",
+    "BaselineError",
+    "DEFAULT_BASELINE_NAME",
+    "apply_baseline",
+    "load_baseline",
+    "placeholder_reasons",
+    "write_baseline",
 ]

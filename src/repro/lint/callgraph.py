@@ -1,0 +1,224 @@
+"""A static intra-package call graph, for whole-program lint rules.
+
+The seed-flow rule (DET008) needs to know, for every function in the
+linted file set, *which other linted functions it calls* and *how it
+passes seeds to them*.  This module builds that view with name resolution
+only — no imports of the analyzed code:
+
+* every ``def`` (module-level or method) becomes a :class:`FunctionInfo`
+  keyed by ``path::qualname``;
+* calls are resolved by bare name within the defining module first, then
+  through ``from .mod import name`` / ``from ..pkg.mod import name``
+  relative imports against the other linted files (matched by module
+  *basename* — enough for one package linted as a directory tree);
+* method calls (``obj.method(...)``) resolve by method name when exactly
+  one linted class defines it — deliberately conservative, so ambiguous
+  names produce no edge rather than a wrong one.
+
+The graph is small (one node per function in the package), so reachability
+questions are answered with a plain BFS.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Mapping, Optional, Set, Tuple
+
+__all__ = ["FunctionInfo", "CallSite", "CallGraph", "build_call_graph", "SEEDISH"]
+
+#: Parameter-name fragments that mark a seed/RNG threading parameter.
+SEEDISH = ("seed", "rng")
+
+
+def is_seedish(name: str) -> bool:
+    """True for parameter names that carry injected randomness state."""
+    lowered = name.lower()
+    return any(fragment in lowered for fragment in SEEDISH)
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method definition in the linted file set."""
+
+    path: str
+    qualname: str
+    node: ast.AST  # FunctionDef | AsyncFunctionDef
+    params: Tuple[str, ...]
+
+    @property
+    def key(self) -> str:
+        return f"{self.path}::{self.qualname}"
+
+    @property
+    def seedish_params(self) -> Tuple[str, ...]:
+        return tuple(p for p in self.params if is_seedish(p))
+
+
+@dataclass
+class CallSite:
+    """One resolved call edge: ``caller`` invokes ``callee`` at ``node``."""
+
+    caller: FunctionInfo
+    callee: FunctionInfo
+    node: ast.Call
+
+    def passes_seedish(self) -> bool:
+        """Whether the call threads any seed/rng through to the callee.
+
+        True when a keyword argument targets a seedish callee parameter, or
+        a positional argument lands on one (``self``-adjusted for methods).
+        """
+        callee_params = list(self.callee.params)
+        if callee_params and callee_params[0] in ("self", "cls"):
+            callee_params = callee_params[1:]
+        for kw in self.node.keywords:
+            if kw.arg is not None and is_seedish(kw.arg):
+                return True
+            if kw.arg is None:  # **kwargs forwarding: assume the best
+                return True
+        for index, _arg in enumerate(self.node.args):
+            if index < len(callee_params) and is_seedish(callee_params[index]):
+                return True
+        return False
+
+
+def _param_names(func) -> Tuple[str, ...]:
+    args = func.args
+    names = [a.arg for a in args.posonlyargs] + [a.arg for a in args.args]
+    names += [a.arg for a in args.kwonlyargs]
+    if args.vararg:
+        names.append(args.vararg.arg)
+    if args.kwarg:
+        names.append(args.kwarg.arg)
+    return tuple(names)
+
+
+def _module_basename(path: str) -> str:
+    name = path.replace("\\", "/").rsplit("/", 1)[-1]
+    return name[:-3] if name.endswith(".py") else name
+
+
+def _walk_functions(tree: ast.Module) -> Iterator[Tuple[str, ast.AST]]:
+    """Yield ``(qualname, def-node)`` for every function, depth-first."""
+
+    def visit(node: ast.AST, prefix: str) -> Iterator[Tuple[str, ast.AST]]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qual = f"{prefix}{child.name}"
+                yield qual, child
+                yield from visit(child, f"{qual}.")
+            elif isinstance(child, ast.ClassDef):
+                yield from visit(child, f"{prefix}{child.name}.")
+            else:
+                yield from visit(child, prefix)
+
+    yield from visit(tree, "")
+
+
+class CallGraph:
+    """Functions plus resolved call edges over one linted file set."""
+
+    def __init__(self) -> None:
+        self.functions: Dict[str, FunctionInfo] = {}
+        #: caller key -> call sites out of that function
+        self.calls_from: Dict[str, List[CallSite]] = {}
+
+    def function(self, key: str) -> Optional[FunctionInfo]:
+        return self.functions.get(key)
+
+    def sites_from(self, key: str) -> List[CallSite]:
+        return self.calls_from.get(key, [])
+
+    def reachable_from(self, key: str) -> Set[str]:
+        """Keys of every function transitively callable from ``key``."""
+        seen: Set[str] = set()
+        frontier = [key]
+        while frontier:
+            current = frontier.pop()
+            for site in self.sites_from(current):
+                callee_key = site.callee.key
+                if callee_key not in seen:
+                    seen.add(callee_key)
+                    frontier.append(callee_key)
+        return seen
+
+
+def build_call_graph(trees: Mapping[str, ast.Module]) -> CallGraph:
+    """Build the call graph over ``{path: parsed module}``."""
+    graph = CallGraph()
+
+    # Pass 1: collect every definition.
+    by_module: Dict[str, Dict[str, FunctionInfo]] = {}  # path -> bare name -> info
+    by_basename: Dict[str, Dict[str, FunctionInfo]] = {}  # module basename -> ...
+    by_method_name: Dict[str, List[FunctionInfo]] = {}
+    for path in sorted(trees):
+        tree = trees[path]
+        local: Dict[str, FunctionInfo] = {}
+        for qualname, node in _walk_functions(tree):
+            info = FunctionInfo(
+                path=path, qualname=qualname, node=node, params=_param_names(node)
+            )
+            graph.functions[info.key] = info
+            bare = qualname.rsplit(".", 1)[-1]
+            # Module-level defs shadow methods for bare-name resolution.
+            if "." not in qualname or bare not in local:
+                local.setdefault(bare, info)
+            if "." in qualname:
+                by_method_name.setdefault(bare, []).append(info)
+        by_module[path] = local
+        by_basename.setdefault(_module_basename(path), {}).update(
+            {n: i for n, i in local.items() if "." not in i.qualname}
+        )
+
+    # Pass 2: record what each module imports from sibling linted modules.
+    imported: Dict[str, Dict[str, FunctionInfo]] = {}
+    for path, tree in trees.items():
+        resolved: Dict[str, FunctionInfo] = {}
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ImportFrom) or node.module is None:
+                continue
+            target = by_basename.get(node.module.rsplit(".", 1)[-1])
+            if not target:
+                continue
+            for alias in node.names:
+                info = target.get(alias.name)
+                if info is not None:
+                    resolved[alias.asname or alias.name] = info
+        imported[path] = resolved
+
+    # Pass 3: resolve call edges.
+    for path, tree in trees.items():
+        local = by_module[path]
+        froms = imported[path]
+        for qualname, node in _walk_functions(tree):
+            caller = graph.functions[f"{path}::{qualname}"]
+            sites: List[CallSite] = []
+            for call in ast.walk(node):
+                if not isinstance(call, ast.Call):
+                    continue
+                callee = _resolve_call(call, path, local, froms, by_method_name)
+                if callee is not None and callee.key != caller.key:
+                    sites.append(CallSite(caller=caller, callee=callee, node=call))
+            if sites:
+                graph.calls_from[caller.key] = sites
+    return graph
+
+
+def _resolve_call(
+    call: ast.Call,
+    path: str,
+    local: Mapping[str, FunctionInfo],
+    froms: Mapping[str, FunctionInfo],
+    by_method_name: Mapping[str, List[FunctionInfo]],
+) -> Optional[FunctionInfo]:
+    func = call.func
+    if isinstance(func, ast.Name):
+        return local.get(func.id) or froms.get(func.id)
+    if isinstance(func, ast.Attribute):
+        candidates = by_method_name.get(func.attr, [])
+        same_file = [c for c in candidates if c.path == path]
+        pool = same_file or candidates
+        if len(pool) == 1:
+            return pool[0]
+    return None

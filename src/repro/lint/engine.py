@@ -1,4 +1,4 @@
-"""The lint engine: parse files, build a module model, run the rules.
+"""The lint engine: parse files, build module models, run the rules.
 
 The engine is deliberately static: it never imports the code under
 analysis.  The only runtime information it consults is the *algorithm
@@ -8,75 +8,52 @@ anonymous-safe; files outside the library can make the same promise with a
 literal ``anonymous_safe = True`` in the class body, which is read off the
 AST.
 
+Two rule families run over the same machinery: the model-compliance rules
+(``MDL001`` ... ``MDL005``, :mod:`repro.lint.rules`) and the determinism
+sanitizer (``DET001`` ... ``DET008``, :mod:`repro.lint.determinism`).
+Module-scope rules see one :class:`ModuleModel` at a time; project-scope
+rules (DET008's seed-flow analysis) see a :class:`ProjectModel` spanning
+every linted file, including its intra-package call graph.
+
 Suppressions
 ------------
 ``# repro-lint: disable=MDL003`` on the offending line silences the named
 code(s) (comma-separated, or ``all``) on that line only.  The same pragma
-on a comment-only line silences the code(s) for the whole file.
+on a comment-only line silences the code(s) for the whole file.  Accepted
+pre-existing sites belong in the committed baseline file instead (see
+:mod:`repro.lint.baseline`) so each carries an explicit reason.
 """
 
 from __future__ import annotations
 
 import ast
 import os
-import re
-from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
 
-from .findings import Finding
+from .common import (
+    PARSE_ERROR_CODE,
+    Suppressions,
+    collect_suppressions,
+    normalized_path,
+)
+from .findings import Finding, Rule
 
 __all__ = [
     "LintError",
     "ModuleModel",
+    "ProjectModel",
+    "PARSE_ERROR_CODE",
+    "all_rules",
     "iter_python_files",
     "lint_source",
     "lint_file",
     "lint_paths",
+    "selected_codes",
 ]
-
-#: Parse failures are reported under this pseudo-code so a syntactically
-#: broken scheme cannot slip through as "no findings".
-PARSE_ERROR_CODE = "MDL000"
-
-_PRAGMA = re.compile(r"#\s*repro-lint:\s*disable=([A-Za-z0-9_,\s]+)")
 
 
 class LintError(Exception):
     """Usage-level failure: a path that does not exist or is not Python."""
-
-
-# ----------------------------------------------------------------------
-# Suppression pragmas
-# ----------------------------------------------------------------------
-
-
-@dataclass
-class Suppressions:
-    """Per-line and file-wide ``repro-lint: disable`` pragmas."""
-
-    by_line: Dict[int, Set[str]] = field(default_factory=dict)
-    file_wide: Set[str] = field(default_factory=set)
-
-    def active(self, code: str, line: int) -> bool:
-        """True when ``code`` is suppressed at ``line``."""
-        for scope in (self.file_wide, self.by_line.get(line, ())):
-            if "ALL" in scope or code.upper() in scope:
-                return True
-        return False
-
-
-def _collect_suppressions(source: str) -> Suppressions:
-    out = Suppressions()
-    for lineno, text in enumerate(source.splitlines(), start=1):
-        match = _PRAGMA.search(text)
-        if not match:
-            continue
-        codes = {c.strip().upper() for c in match.group(1).split(",") if c.strip()}
-        if text.lstrip().startswith("#"):
-            out.file_wide |= codes
-        else:
-            out.by_line.setdefault(lineno, set()).update(codes)
-    return out
 
 
 # ----------------------------------------------------------------------
@@ -132,7 +109,7 @@ class ModuleModel:
         self.source_lines = source.splitlines()
         self.tree = tree
         self.registry = registry
-        self.suppressions = _collect_suppressions(source)
+        self.suppressions = collect_suppressions(source)
 
         self.classes: List[ast.ClassDef] = [
             node for node in ast.walk(tree) if isinstance(node, ast.ClassDef)
@@ -170,6 +147,10 @@ class ModuleModel:
         """True when the file holds schemes, algorithms, or oracles."""
         return bool(self.scheme_classes or self.algorithm_classes or self.oracle_classes)
 
+    @property
+    def normalized_path(self) -> str:
+        return normalized_path(self.path)
+
     def class_named(self, name: str) -> Optional[ast.ClassDef]:
         return self._class_by_name.get(name)
 
@@ -202,15 +183,50 @@ class ModuleModel:
 
     # -- finding helper ------------------------------------------------
 
-    def finding(self, code: str, node: ast.AST, message: str) -> Finding:
+    def finding(
+        self, code: str, node: ast.AST, message: str, severity: str = "error"
+    ) -> Finding:
         line = getattr(node, "lineno", 1)
         col = getattr(node, "col_offset", 0)
         snippet = ""
         if 1 <= line <= len(self.source_lines):
             snippet = self.source_lines[line - 1].strip()
         return Finding(
-            path=self.path, line=line, col=col, code=code, message=message, snippet=snippet
+            path=self.path,
+            line=line,
+            col=col,
+            code=code,
+            message=message,
+            snippet=snippet,
+            severity=severity,
         )
+
+
+class ProjectModel:
+    """Every parsed module of one lint invocation, for project-scope rules.
+
+    Wraps the per-file :class:`ModuleModel` list and lazily derives the
+    intra-package call graph (:mod:`repro.lint.callgraph`) the seed-flow
+    rule walks.
+    """
+
+    def __init__(self, models: Sequence[ModuleModel]) -> None:
+        self.models: List[ModuleModel] = list(models)
+        self.by_path: Dict[str, ModuleModel] = {m.path: m for m in self.models}
+        self._call_graph = None
+
+    @property
+    def call_graph(self):
+        if self._call_graph is None:
+            from .callgraph import build_call_graph
+
+            self._call_graph = build_call_graph(
+                {model.path: model.tree for model in self.models}
+            )
+        return self._call_graph
+
+    def model_for(self, path: str) -> Optional[ModuleModel]:
+        return self.by_path.get(path)
 
 
 # ----------------------------------------------------------------------
@@ -225,6 +241,14 @@ def _default_registry() -> Dict[str, bool]:
     except Exception:  # pragma: no cover - only on broken installs
         return {}
     return {name: info.anonymous_safe for name, info in ALGORITHM_REGISTRY.items()}
+
+
+def all_rules() -> Tuple[Rule, ...]:
+    """The combined catalog: model-compliance rules then determinism rules."""
+    from .determinism import DET_RULES
+    from .rules import RULES
+
+    return tuple(RULES) + tuple(DET_RULES)
 
 
 def iter_python_files(paths: Sequence[str]) -> Iterator[str]:
@@ -250,42 +274,72 @@ def iter_python_files(paths: Sequence[str]) -> Iterator[str]:
             raise LintError(f"no such file or directory: {path!r}")
 
 
-def lint_source(
-    source: str,
-    path: str = "<string>",
-    rules: Optional[Sequence] = None,
-    registry: Optional[Mapping[str, bool]] = None,
-) -> List[Finding]:
-    """Lint one source text; the workhorse behind :func:`lint_file`."""
-    from .rules import RULES
-
-    active_rules = RULES if rules is None else rules
-    reg = _default_registry() if registry is None else registry
+def _parse_model(
+    source: str, path: str, registry: Mapping[str, bool]
+) -> Tuple[Optional[ModuleModel], Optional[Finding]]:
+    """Parse one source text into a model, or a PARSE_ERROR finding."""
     try:
         tree = ast.parse(source, filename=path)
     except SyntaxError as exc:
-        return [
-            Finding(
-                path=path,
-                line=exc.lineno or 1,
-                col=(exc.offset or 1) - 1,
-                code=PARSE_ERROR_CODE,
-                message=f"could not parse: {exc.msg}",
-                snippet=(exc.text or "").strip(),
-            )
-        ]
-    model = ModuleModel(path, source, tree, reg)
+        return None, Finding(
+            path=path,
+            line=exc.lineno or 1,
+            col=(exc.offset or 1) - 1,
+            code=PARSE_ERROR_CODE,
+            message=f"could not parse: {exc.msg}",
+            snippet=(exc.text or "").strip(),
+        )
+    return ModuleModel(path, source, tree, registry), None
+
+
+def _suppressions_for(
+    finding: Finding, by_path: Mapping[str, Suppressions]
+) -> bool:
+    sup = by_path.get(finding.path)
+    return sup is not None and sup.active(finding.code, finding.line)
+
+
+def _run_rules(
+    models: Sequence[ModuleModel], active_rules: Sequence[Rule]
+) -> List[Finding]:
+    """Run module-scope rules per model, then project-scope rules once."""
+    suppressions = {model.path: model.suppressions for model in models}
     findings: List[Finding] = []
-    for rule in active_rules:
-        for finding in rule.check(model):
-            if not model.suppressions.active(finding.code, finding.line):
-                findings.append(finding)
-    return sorted(findings)
+    module_rules = [r for r in active_rules if r.scope == "module"]
+    project_rules = [r for r in active_rules if r.scope == "project"]
+    for model in models:
+        for rule in module_rules:
+            for finding in rule.check(model):
+                if not _suppressions_for(finding, suppressions):
+                    findings.append(finding)
+    if project_rules and models:
+        project = ProjectModel(models)
+        for rule in project_rules:
+            for finding in rule.check(project):
+                if not _suppressions_for(finding, suppressions):
+                    findings.append(finding)
+    return findings
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    rules: Optional[Sequence[Rule]] = None,
+    registry: Optional[Mapping[str, bool]] = None,
+) -> List[Finding]:
+    """Lint one source text; the workhorse behind :func:`lint_file`."""
+    active_rules = all_rules() if rules is None else rules
+    reg = _default_registry() if registry is None else registry
+    model, parse_failure = _parse_model(source, path, reg)
+    if parse_failure is not None:
+        return [parse_failure]
+    assert model is not None
+    return sorted(_run_rules([model], active_rules))
 
 
 def lint_file(
     path: str,
-    rules: Optional[Sequence] = None,
+    rules: Optional[Sequence[Rule]] = None,
     registry: Optional[Mapping[str, bool]] = None,
 ) -> List[Finding]:
     """Lint one file from disk."""
@@ -299,22 +353,34 @@ def lint_file(
 
 def _select_rules(
     select: Optional[Iterable[str]], ignore: Optional[Iterable[str]]
-) -> Tuple:
-    from .rules import RULES
+) -> Tuple[Rule, ...]:
+    """Resolve ``--select`` / ``--ignore`` against the combined catalog.
 
-    known = {rule.code for rule in RULES}
-    chosen = list(RULES)
-    for option, codes in (("select", select), ("ignore", ignore)):
-        unknown = {c.upper() for c in codes or ()} - known
-        if unknown:
-            raise LintError(f"--{option}: unknown rule code(s) {sorted(unknown)}")
+    Selectors are exact codes (``DET003``) or family prefixes (``DET``,
+    ``MDL``); a selector matching no rule is a usage error.
+    """
+    catalog = all_rules()
+    chosen = list(catalog)
+    for option, selectors in (("select", select), ("ignore", ignore)):
+        for selector in selectors or ():
+            sel = selector.upper()
+            if not any(rule.code.startswith(sel) for rule in catalog):
+                raise LintError(f"--{option}: unknown rule code(s) ['{sel}']")
     if select:
-        wanted = {c.upper() for c in select}
-        chosen = [rule for rule in chosen if rule.code in wanted]
+        wanted = tuple(c.upper() for c in select)
+        chosen = [rule for rule in chosen if rule.code.startswith(wanted)]
     if ignore:
-        dropped = {c.upper() for c in ignore}
-        chosen = [rule for rule in chosen if rule.code not in dropped]
+        dropped = tuple(c.upper() for c in ignore)
+        chosen = [rule for rule in chosen if not rule.code.startswith(dropped)]
     return tuple(chosen)
+
+
+def selected_codes(
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+) -> "frozenset[str]":
+    """The rule codes a ``--select``/``--ignore`` pair resolves to."""
+    return frozenset(rule.code for rule in _select_rules(select, ignore))
 
 
 def lint_paths(
@@ -323,9 +389,27 @@ def lint_paths(
     ignore: Optional[Iterable[str]] = None,
     registry: Optional[Mapping[str, bool]] = None,
 ) -> List[Finding]:
-    """Lint every ``.py`` file under ``paths``; the CLI entry point."""
+    """Lint every ``.py`` file under ``paths``; the CLI entry point.
+
+    Module-scope rules run file by file; project-scope rules (the DET008
+    seed-flow analysis) run once over the whole file set, so cross-module
+    seed threading is visible.
+    """
     rules = _select_rules(select, ignore)
+    reg = _default_registry() if registry is None else registry
     findings: List[Finding] = []
+    models: List[ModuleModel] = []
     for path in iter_python_files(paths):
-        findings.extend(lint_file(path, rules=rules, registry=registry))
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                source = handle.read()
+        except OSError as exc:
+            raise LintError(f"cannot read {path!r}: {exc}") from exc
+        model, parse_failure = _parse_model(source, path, reg)
+        if parse_failure is not None:
+            findings.append(parse_failure)
+        else:
+            assert model is not None
+            models.append(model)
+    findings.extend(_run_rules(models, rules))
     return sorted(findings)

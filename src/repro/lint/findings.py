@@ -1,10 +1,13 @@
-"""Finding and rule records for the model-compliance linter.
+"""Finding and rule records shared by every linter family.
 
 A :class:`Finding` is one rule violation at one source location; findings
 are ordered (path, line, column, code) so reports are stable across runs.
-:class:`Rule` couples a code (``MDL001`` ... ``MDL005``) with the callable
-that scans one parsed module.  The rule catalog itself lives in
-:mod:`repro.lint.rules`.
+:class:`Rule` couples a code (``MDL001`` ... ``MDL005``, ``DET001`` ...
+``DET008``) with the callable that scans one parsed module — or, for
+``scope="project"`` rules, the whole set of parsed modules at once (the
+seed-flow analysis needs the intra-package call graph).  The rule catalogs
+live in :mod:`repro.lint.rules` (model compliance) and
+:mod:`repro.lint.determinism` (determinism sanitizer).
 """
 
 from __future__ import annotations
@@ -29,6 +32,7 @@ class Finding:
     code: str
     message: str = field(compare=False)
     snippet: str = field(default="", compare=False)
+    severity: str = field(default="error", compare=False)
 
     def __str__(self) -> str:
         location = f"{self.path}:{self.line}:{self.col + 1}"
@@ -37,15 +41,34 @@ class Finding:
             text += f"\n    {self.snippet}"
         return text
 
+    def to_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "severity": self.severity,
+            "message": self.message,
+            "snippet": self.snippet,
+        }
+
 
 @dataclass(frozen=True)
 class Rule:
-    """A lint rule: a stable code, a short name, and a module checker."""
+    """A lint rule: a stable code, a short name, and a checker.
+
+    ``scope`` is ``"module"`` (the default — ``check`` receives one
+    :class:`~repro.lint.engine.ModuleModel`) or ``"project"`` (``check``
+    receives a :class:`~repro.lint.engine.ProjectModel` spanning every
+    linted file, for whole-program analyses such as DET008's seed flow).
+    """
 
     code: str
     name: str
     summary: str
-    check: Callable[["ModuleModel"], Iterable[Finding]]
+    check: Callable[..., Iterable[Finding]]
+    severity: str = "error"
+    scope: str = "module"
 
 
 def format_text(findings: Sequence[Finding]) -> str:
@@ -58,17 +81,4 @@ def format_text(findings: Sequence[Finding]) -> str:
 
 def format_json(findings: Sequence[Finding]) -> str:
     """Machine-readable report: a JSON array of finding objects."""
-    return json.dumps(
-        [
-            {
-                "path": f.path,
-                "line": f.line,
-                "col": f.col,
-                "code": f.code,
-                "message": f.message,
-                "snippet": f.snippet,
-            }
-            for f in findings
-        ],
-        indent=2,
-    )
+    return json.dumps([f.to_dict() for f in findings], indent=2)

@@ -17,6 +17,7 @@ from __future__ import annotations
 import ast
 from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
+from .common import attribute_root, callable_name, module_aliases
 from .engine import ModuleModel
 from .findings import Finding, Rule
 
@@ -24,7 +25,7 @@ __all__ = ["RULES", "rule_catalog"]
 
 
 # ----------------------------------------------------------------------
-# Shared AST helpers
+# Shared AST helpers (family-specific ones only; the rest live in common)
 # ----------------------------------------------------------------------
 
 
@@ -49,25 +50,6 @@ def _ctx_param_names(func: ast.FunctionDef) -> Set[str]:
         if arg.arg == "ctx" or annotated:
             names.add(arg.arg)
     return names
-
-
-def _attribute_root(node: ast.Attribute) -> Optional[ast.Name]:
-    value: ast.expr = node.value
-    while isinstance(value, ast.Attribute):
-        value = value.value
-    return value if isinstance(value, ast.Name) else None
-
-
-def _callable_name(func: ast.expr) -> Optional[str]:
-    if isinstance(func, ast.Name):
-        return func.id
-    if isinstance(func, ast.Attribute):
-        return func.attr
-    return None
-
-
-def _normalized_path(model: ModuleModel) -> str:
-    return model.path.replace("\\", "/")
 
 
 # ----------------------------------------------------------------------
@@ -183,20 +165,8 @@ _DATETIME_ATTRS = {"now", "utcnow", "today"}
 _UUID_ATTRS = {"uuid1", "uuid4"}
 
 
-def _module_aliases(tree: ast.Module) -> Dict[str, str]:
-    """``local name -> module`` for the nondeterminism-bearing modules."""
-    watched = {"random", "time", "datetime", "secrets", "os", "uuid"}
-    aliases: Dict[str, str] = {}
-    for node in ast.walk(tree):
-        if isinstance(node, ast.Import):
-            for alias in node.names:
-                if alias.name in watched:
-                    aliases[alias.asname or alias.name] = alias.name
-    return aliases
-
-
 def _mdl003_in_scope(model: ModuleModel) -> bool:
-    path = _normalized_path(model)
+    path = model.normalized_path
     designated = (
         "/algorithms/" in path
         or "/oracles/" in path
@@ -208,7 +178,9 @@ def _mdl003_in_scope(model: ModuleModel) -> bool:
 def _check_mdl003(model: ModuleModel) -> Iterator[Finding]:
     if not _mdl003_in_scope(model):
         return
-    aliases = _module_aliases(model.tree)
+    aliases = module_aliases(
+        model.tree, ("random", "time", "datetime", "secrets", "os", "uuid")
+    )
     for node in ast.walk(model.tree):
         if isinstance(node, ast.ImportFrom) and node.level == 0:
             bad: Optional[str] = None
@@ -238,7 +210,7 @@ def _check_mdl003(model: ModuleModel) -> Iterator[Finding]:
                     "random.Random instead",
                 )
         elif isinstance(node, ast.Attribute):
-            root = _attribute_root(node)
+            root = attribute_root(node)
             if root is None:
                 continue
             module = aliases.get(root.id)
@@ -308,7 +280,7 @@ def _mutable_value(value: Optional[ast.expr]) -> Optional[str]:
     if isinstance(value, (ast.Set, ast.SetComp)):
         return "set"
     if isinstance(value, ast.Call):
-        name = _callable_name(value.func)
+        name = callable_name(value.func)
         if name in _MUTABLE_FACTORIES:
             return f"{name}()"
     return None
@@ -392,7 +364,7 @@ def _check_mdl005(model: ModuleModel) -> Iterator[Finding]:
             elif isinstance(node, ast.Return) and node.value is not None:
                 ret = node.value
                 returns_raw_dict = isinstance(ret, (ast.Dict, ast.DictComp)) or (
-                    isinstance(ret, ast.Call) and _callable_name(ret.func) == "dict"
+                    isinstance(ret, ast.Call) and callable_name(ret.func) == "dict"
                 )
                 if returns_raw_dict:
                     yield model.finding(

@@ -23,7 +23,7 @@ from typing import Dict, Hashable, Iterator, List, Optional, Tuple
 
 import networkx as nx
 
-__all__ = ["PortLabeledGraph", "GraphError", "edge_key"]
+__all__ = ["PortLabeledGraph", "GraphError", "edge_key", "label_key"]
 
 Node = Hashable
 Edge = Tuple[Node, Node]
@@ -33,16 +33,39 @@ class GraphError(ValueError):
     """Raised when a graph operation would violate the network model."""
 
 
+def label_key(v: Node) -> str:
+    """Deterministic sort key for a node label: its content-based ``repr``.
+
+    Labels whose ``repr`` falls back to ``object.__repr__`` embed a memory
+    address, and set-typed labels render in hash order — orderings built on
+    either would differ between runs, so both are rejected outright rather
+    than silently producing an unstable order.
+    """
+    if isinstance(v, (set, frozenset)):
+        raise GraphError(
+            f"set-typed node label {v!r}: its repr depends on PYTHONHASHSEED "
+            "and cannot order nodes deterministically"
+        )
+    if type(v).__repr__ is object.__repr__:
+        raise GraphError(
+            f"node label of type {type(v).__name__} has no content-based "
+            "repr: the default repr embeds a memory address and cannot "
+            "order nodes deterministically"
+        )
+    return repr(v)
+
+
 def edge_key(u: Node, v: Node) -> Edge:
     """Canonical representation of the undirected edge ``{u, v}``.
 
     Endpoints are ordered by their sort key so that ``edge_key(u, v) ==
-    edge_key(v, u)``; mixed-type labels fall back to a repr-based order.
+    edge_key(v, u)``; mixed-type labels fall back to a :func:`label_key`
+    (content-repr) order.
     """
     try:
         return (u, v) if u <= v else (v, u)  # type: ignore[operator]
     except TypeError:
-        return (u, v) if repr(u) <= repr(v) else (v, u)
+        return (u, v) if label_key(u) <= label_key(v) else (v, u)
 
 
 class PortLabeledGraph:
@@ -342,7 +365,7 @@ class PortLabeledGraph:
         The source defaults to ``g.graph['source']`` or the smallest label.
         """
         out = cls()
-        for v in sorted(g.nodes(), key=repr):
+        for v in sorted(g.nodes(), key=label_key):
             out.add_node(v)
         explicit = all("ports" in data for __, __, data in g.edges(data=True)) and g.number_of_edges() > 0
         if explicit:
@@ -351,7 +374,7 @@ class PortLabeledGraph:
         else:
             order: Dict[Node, List[Node]] = {}
             for v in g.nodes():
-                nbrs = sorted(g.neighbors(v), key=repr)
+                nbrs = sorted(g.neighbors(v), key=label_key)
                 if port_order == "random":
                     if rng is None:
                         raise GraphError("port_order='random' requires an rng")
@@ -367,7 +390,7 @@ class PortLabeledGraph:
         if source is None:
             source = g.graph.get("source")
         if source is None:
-            source = min(g.nodes(), key=repr)
+            source = min(g.nodes(), key=label_key)
         out.set_source(source)
         return out
 

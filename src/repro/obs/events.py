@@ -13,13 +13,15 @@ see :mod:`repro.obs.observe`.)
 
 Serialization: :meth:`Event.to_dict` produces a JSON-ready dict with the
 event ``kind`` first; payloads and node labels that are not natively
-JSON-representable are rendered through :func:`jsonable` (``repr`` for
-anything beyond the scalar types), which keeps the stream loadable
-anywhere while staying deterministic.
+JSON-representable are rendered through :func:`jsonable` (sets sort into
+lists, anything else beyond the scalar types becomes its ``repr``), which
+keeps the stream loadable anywhere while staying deterministic — including
+across ``PYTHONHASHSEED`` values.
 """
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, fields
 from typing import Any, ClassVar, Dict, Optional, Tuple, Type
 
@@ -52,11 +54,17 @@ _SCALARS = (str, int, float, bool, type(None))
 
 def jsonable(value: Any) -> Any:
     """Render ``value`` for the JSONL stream: scalars pass through,
-    dicts/lists/tuples recurse, everything else becomes its ``repr``.
+    dicts/lists/tuples recurse, sets render *sorted*, everything else
+    becomes its ``repr``.
 
     ``repr`` is deterministic for the payloads and node labels the library
     uses (strings, ints, tuples), which is all the determinism guarantee
-    needs.
+    needs.  Sets and frozensets must not fall through to ``repr``: their
+    iteration order follows ``PYTHONHASHSEED`` whenever they hold strings
+    (gossip rumor sets, payload alphabets), which would make the trace
+    bytes differ between identically-seeded runs.  They are rendered as a
+    sorted list — ordered by canonical JSON encoding, which totally orders
+    mixed-type elements — so the stream is hash-randomization-independent.
     """
     if isinstance(value, bool) or isinstance(value, _SCALARS):
         return value
@@ -64,6 +72,11 @@ def jsonable(value: Any) -> Any:
         return {str(jsonable(k)): jsonable(v) for k, v in value.items()}
     if isinstance(value, (list, tuple)):
         return [jsonable(v) for v in value]
+    if isinstance(value, (set, frozenset)):
+        rendered = [jsonable(v) for v in value]
+        return sorted(
+            rendered, key=lambda item: json.dumps(item, sort_keys=True, default=str)
+        )
     return repr(value)
 
 

@@ -19,7 +19,7 @@ from typing import List, Optional, Tuple
 
 from ..core.oracle import AdviceMap, FullMapOracle, Oracle
 from ..encoding import BitReader, BitString, encode_fixed
-from ..network.graph import PortLabeledGraph
+from ..network.graph import PortLabeledGraph, label_key
 
 __all__ = ["IndexedFullMapOracle", "decode_indexed_map"]
 
@@ -29,7 +29,7 @@ class IndexedFullMapOracle(Oracle):
 
     def advise(self, graph: PortLabeledGraph) -> AdviceMap:
         blob = FullMapOracle.encode_graph(graph)
-        order = sorted(graph.nodes(), key=repr)
+        order = sorted(graph.nodes(), key=label_key)
         n = len(order)
         width = max(1, n.bit_length())
         return AdviceMap(

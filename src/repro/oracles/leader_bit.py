@@ -13,7 +13,7 @@ from typing import Callable, Hashable, Optional
 
 from ..core.oracle import AdviceMap, Oracle
 from ..encoding import BitString
-from ..network.graph import PortLabeledGraph
+from ..network.graph import PortLabeledGraph, label_key
 
 __all__ = ["LeaderBitOracle"]
 
@@ -35,5 +35,5 @@ class LeaderBitOracle(Oracle):
             if not graph.has_node(chosen):
                 raise ValueError(f"picker chose a non-node: {chosen!r}")
         else:
-            chosen = min(graph.nodes(), key=repr)
+            chosen = min(graph.nodes(), key=label_key)
         return AdviceMap({chosen: BitString("1")})

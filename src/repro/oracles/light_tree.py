@@ -28,7 +28,7 @@ from typing import Dict, Hashable, List, Set, Tuple
 
 from ..core.oracle import AdviceMap, Oracle
 from ..encoding import code_length, encode_weight_list
-from ..network.graph import GraphError, PortLabeledGraph, edge_key
+from ..network.graph import GraphError, PortLabeledGraph, edge_key, label_key
 
 __all__ = [
     "edge_contribution",
@@ -143,11 +143,11 @@ def assign_weight_advice(
     values is what matters to Scheme B.
     """
     weights: Dict[Node, List[int]] = {}
-    for u, v in tree:
+    for u, v in sorted(tree, key=label_key):
         pu, pv = graph.port(u, v), graph.port(v, u)
         w = min(pu, pv)
         if pu == w and pv == w:
-            x = u if repr(u) <= repr(v) else v
+            x = u if label_key(u) <= label_key(v) else v
         else:
             x = u if pu == w else v
         weights.setdefault(x, []).append(w)

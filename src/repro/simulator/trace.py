@@ -28,6 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, Hashable, List, Optional, Set, Tuple
 
+from ..network.graph import edge_key
 from .messages import InFlightMessage
 
 __all__ = ["DeliveryRecord", "ExecutionTrace", "TraceLevelError", "TRACE_LEVELS"]
@@ -153,12 +154,7 @@ class ExecutionTrace:
         self._require_full("edges_used")
         out: Set[Tuple[Hashable, Hashable]] = set()
         for d in self.deliveries:
-            u, v = d.sender, d.receiver
-            try:
-                key = (u, v) if u <= v else (v, u)  # type: ignore[operator]
-            except TypeError:
-                key = (u, v) if repr(u) <= repr(v) else (v, u)
-            out.add(key)
+            out.add(edge_key(d.sender, d.receiver))
         return out
 
     def max_edge_traversals(self) -> int:
@@ -167,11 +163,7 @@ class ExecutionTrace:
         self._require_full("max_edge_traversals")
         counts: Dict[Tuple[Hashable, Hashable], int] = {}
         for d in self.deliveries:
-            u, v = d.sender, d.receiver
-            try:
-                key = (u, v) if u <= v else (v, u)  # type: ignore[operator]
-            except TypeError:
-                key = (u, v) if repr(u) <= repr(v) else (v, u)
+            key = edge_key(d.sender, d.receiver)
             counts[key] = counts.get(key, 0) + 1
         return max(counts.values(), default=0)
 

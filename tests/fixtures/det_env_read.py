@@ -1,0 +1,7 @@
+"""Known-bad fixture for DET006: environment read off the allowlist."""
+
+import os
+
+
+def worker_count():
+    return int(os.environ.get("NUM_WORKERS", "1"))  # undocumented env knob

@@ -1,0 +1,14 @@
+"""Known-bad fixture for DET007: float accumulation in set order."""
+
+
+def total_weight(weights):
+    vals = set(weights)
+    acc = 0.0
+    for w in vals:
+        acc += w  # rounding depends on iteration order
+    return acc
+
+
+def mean_weight(weights):
+    vals = frozenset(weights)
+    return sum(vals) / len(vals)  # sum over a set

@@ -1,0 +1,7 @@
+"""Known-bad fixture for DET003: module-level (process-global) randomness."""
+
+import random
+
+
+def pick(items):
+    return items[random.randrange(len(items))]  # hidden global RNG state

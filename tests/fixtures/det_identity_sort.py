@@ -1,0 +1,9 @@
+"""Known-bad fixture for DET004: object identity used in an ordering."""
+
+
+def stable_order(nodes):
+    return sorted(nodes, key=id)  # memory-address ordering
+
+
+def pick_first(nodes):
+    return min(nodes, key=lambda v: hash(v))  # hash-randomized ordering

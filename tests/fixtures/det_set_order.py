@@ -1,0 +1,14 @@
+"""Known-bad fixture for DET001: set iteration order leaks into outputs."""
+
+
+def labels(nodes):
+    seen = set(nodes)
+    return list(seen)  # hash-order-dependent list
+
+
+def report_lines(edges):
+    frontier = {e for e in edges}
+    out = []
+    for e in frontier:
+        out.append(f"edge {e}")  # ordered sink fed in set order
+    return out

@@ -1,0 +1,7 @@
+"""Known-bad fixture for DET005: directory listing in filesystem order."""
+
+import os
+
+
+def result_files(run_dir):
+    return [name for name in os.listdir(run_dir) if name.endswith(".json")]

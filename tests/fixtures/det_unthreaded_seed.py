@@ -1,0 +1,26 @@
+"""Known-bad fixture for DET008: randomness that is not threaded.
+
+Two distinct seed-flow failures: a hard-coded seed inside a function with
+no ``seed``/``rng`` parameter, and a caller that *has* a seed parameter
+but silently drops it when calling a seed-requiring helper.
+"""
+
+import random
+
+
+def shuffled(items):
+    rng = random.Random(1234)  # hard-coded seed, nothing threaded in
+    out = sorted(items)
+    rng.shuffle(out)
+    return out
+
+
+def make_order(items, seed=0):
+    rng = random.Random(seed)
+    out = sorted(items)
+    rng.shuffle(out)
+    return out
+
+
+def driver(items, seed):
+    return make_order(items)  # the caller's seed is silently dropped

@@ -1,0 +1,8 @@
+"""Known-bad fixture for DET002: wall clock outside the span registry."""
+
+import time
+
+
+def stamp_row(row):
+    row["elapsed"] = time.monotonic()  # wall clock flows into a result row
+    return row

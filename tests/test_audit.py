@@ -119,7 +119,8 @@ class TestDynamicAndStaticChecksCompose:
 
     def test_wall_clock_scheme_fails_linter(self):
         findings = lint_file(os.path.join(FIXTURES, "bad_wall_clock.py"))
-        assert {f.code for f in findings} == {"MDL003"}
+        # The DET family flags the same wall-clock call; MDL003 must be there.
+        assert "MDL003" in {f.code for f in findings}
 
     def test_stateful_scheme_fails_audit(self):
         report = self._audit(SharedStateFlood())

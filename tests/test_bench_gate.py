@@ -1,0 +1,76 @@
+"""Exit-code contract of scripts/check_bench_regression.py.
+
+The gate distinguishes a perf regression (exit 1) from a harness/setup
+problem (exit 2).  A missing or unparsable BENCH file must land in the
+second bucket with a clear stderr message, never a traceback.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), os.pardir))
+SCRIPT = os.path.join(REPO_ROOT, "scripts", "check_bench_regression.py")
+
+
+def _run(*argv):
+    return subprocess.run(
+        [sys.executable, SCRIPT, *argv],
+        capture_output=True,
+        text=True,
+    )
+
+
+def _export(extra_info):
+    return {
+        "schema": "repro-bench/1",
+        "benchmarks": [
+            {"name": "test_engine_per_delivery", "extra_info": extra_info}
+        ],
+    }
+
+
+def test_missing_file_exits_two(tmp_path):
+    missing = str(tmp_path / "nope.json")
+    proc = _run(missing, missing)
+    assert proc.returncode == 2
+    assert "cannot read BENCH file" in proc.stderr
+    assert "Traceback" not in proc.stderr
+
+
+def test_invalid_json_exits_two(tmp_path):
+    bad = tmp_path / "bad.json"
+    bad.write_text("{not json", encoding="utf-8")
+    proc = _run(str(bad), str(bad))
+    assert proc.returncode == 2
+    assert "not valid JSON" in proc.stderr
+    assert "Traceback" not in proc.stderr
+
+
+def test_wrong_schema_exits_two(tmp_path):
+    wrong = tmp_path / "wrong.json"
+    wrong.write_text(json.dumps({"schema": "other/9"}), encoding="utf-8")
+    proc = _run(str(wrong), str(wrong))
+    assert proc.returncode == 2
+    assert "unexpected schema" in proc.stderr
+
+
+def test_regression_still_exits_one(tmp_path):
+    base = tmp_path / "base.json"
+    fresh = tmp_path / "fresh.json"
+    base.write_text(json.dumps(_export({"a_fast_ns": 100.0})), encoding="utf-8")
+    fresh.write_text(json.dumps(_export({"a_fast_ns": 300.0})), encoding="utf-8")
+    proc = _run(str(base), str(fresh))
+    assert proc.returncode == 1
+    assert "REGRESSION" in proc.stdout
+
+
+def test_within_tolerance_exits_zero(tmp_path):
+    base = tmp_path / "base.json"
+    fresh = tmp_path / "fresh.json"
+    base.write_text(json.dumps(_export({"a_fast_ns": 100.0})), encoding="utf-8")
+    fresh.write_text(json.dumps(_export({"a_fast_ns": 110.0})), encoding="utf-8")
+    proc = _run(str(base), str(fresh))
+    assert proc.returncode == 0
+    assert "ok" in proc.stdout

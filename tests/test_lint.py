@@ -10,14 +10,17 @@ from repro.lint import (
     PARSE_ERROR_CODE,
     RULES,
     LintError,
+    apply_baseline,
     lint_file,
     lint_paths,
     lint_source,
+    load_baseline,
     rule_catalog,
 )
 
 FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures")
-LIBRARY = os.path.join(os.path.dirname(__file__), os.pardir, "src", "repro")
+REPO_ROOT = os.path.join(os.path.dirname(__file__), os.pardir)
+LIBRARY = os.path.join(REPO_ROOT, "src", "repro")
 
 
 def codes(findings):
@@ -39,17 +42,25 @@ class TestFixturesAreCaught:
     )
     def test_fixture_flagged_with_its_code(self, filename, expected):
         findings = lint_file(os.path.join(FIXTURES, filename))
-        assert codes(findings) == [expected]
+        # The DET family may flag the same pattern (e.g. a wall-clock call is
+        # both MDL003 and DET002); the MDL verdict must be exactly `expected`.
+        assert [c for c in codes(findings) if c.startswith("MDL")] == [expected]
         assert all(f.line > 0 and f.snippet for f in findings)
 
     def test_directory_sweep_reports_every_rule(self):
         findings = lint_paths([FIXTURES])
-        assert codes(findings) == ["MDL001", "MDL002", "MDL003", "MDL004", "MDL005"]
+        assert set(codes(findings)) >= {
+            "MDL001", "MDL002", "MDL003", "MDL004", "MDL005"
+        }
 
 
 class TestLibraryIsClean:
     def test_shipped_library_lints_clean(self):
-        assert lint_paths([LIBRARY]) == []
+        findings = lint_paths([LIBRARY])
+        entries = load_baseline(os.path.join(REPO_ROOT, "lint_baseline.json"))
+        kept, _accepted, stale = apply_baseline(findings, entries)
+        assert kept == []
+        assert stale == []
 
 
 class TestRuleDetails:
@@ -116,11 +127,14 @@ class TestRuleDetails:
             "    def on_receive(self, ctx, payload, port):\n"
             "        pass\n"
         )
-        assert codes(lint_source(source)) == ["MDL003"]
+        assert [
+            c for c in codes(lint_source(source)) if c.startswith("MDL")
+        ] == ["MDL003"]
 
     def test_mdl003_skips_files_without_model_code(self):
-        # Analysis/driver code may use module-level random freely.
-        assert lint_source("import random\nx = random.random()\n") == []
+        # MDL003 exempts analysis/driver code — though the DET family
+        # (checked separately) holds even driver code to seeded RNGs.
+        assert lint_source("import random\nx = random.random()\n", rules=RULES) == []
 
     def test_mdl004_immutable_class_attributes_are_fine(self):
         source = (
@@ -153,7 +167,7 @@ class TestSuppressions:
             "    def on_receive(self, ctx, payload, port):\n"
             "        u = time.time()\n"
         )
-        findings = lint_source(source)
+        findings = lint_source(source, rules=RULES)
         assert codes(findings) == ["MDL003"]
         assert [f.line for f in findings] == [6]
 
@@ -167,7 +181,7 @@ class TestSuppressions:
             "    def on_receive(self, ctx, payload, port):\n"
             "        pass\n"
         )
-        assert lint_source(source) == []
+        assert lint_source(source, rules=RULES) == []
 
     def test_disable_all(self):
         source = (
@@ -177,7 +191,7 @@ class TestSuppressions:
             "    def on_receive(self, ctx, payload, port):\n"
             "        pass\n"
         )
-        assert lint_source(source) == []
+        assert lint_source(source, rules=RULES) == []
 
 
 class TestParseFailures:
@@ -223,7 +237,7 @@ class TestCli:
     def test_json_format_is_machine_readable(self, capsys):
         assert main(["lint", FIXTURES, "--format", "json"]) == 1
         payload = json.loads(capsys.readouterr().out)
-        assert {entry["code"] for entry in payload} == {
+        assert {entry["code"] for entry in payload} >= {
             "MDL001", "MDL002", "MDL003", "MDL004", "MDL005"
         }
         assert all({"path", "line", "col", "message"} <= set(entry) for entry in payload)
