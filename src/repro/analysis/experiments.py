@@ -56,6 +56,7 @@ from ..lowerbounds.wakeup_bound import (
     zero_advice_cost,
 )
 from ..network.builders import FAMILY_BUILDERS
+from ..obs.observe import resolve_obs
 from ..oracles.light_tree import (
     LightTreeBroadcastOracle,
     light_spanning_tree,
@@ -107,8 +108,10 @@ def experiment_e1_wakeup_upper(
     sizes: Sequence[int] = DEFAULT_SIZES,
     families: Sequence[str] = DEFAULT_FAMILIES,
     cache=None,
+    obs=None,
 ) -> ExperimentResult:
     """Oracle size ``n log n + o(n log n)``; exactly ``n - 1`` messages."""
+    obs = resolve_obs(obs)
     rows: List[Dict[str, Any]] = []
     for family in families:
         for n in sizes:
@@ -118,7 +121,8 @@ def experiment_e1_wakeup_upper(
                 continue
             oracle = SpanningTreeWakeupOracle()
             advice = _cached_advice(cache, family, n, oracle, graph)
-            result = run_wakeup(graph, oracle, TreeWakeup(), advice=advice)
+            with obs.wallspan(f"cell/{family}/{n}"):
+                result = run_wakeup(graph, oracle, TreeWakeup(), advice=advice, obs=obs)
             nn = graph.num_nodes
             rows.append(
                 {
@@ -246,8 +250,10 @@ def experiment_e3_light_tree(
     sizes: Sequence[int] = DEFAULT_SIZES,
     families: Sequence[str] = DEFAULT_FAMILIES,
     cache=None,
+    obs=None,
 ) -> ExperimentResult:
     """``sum #2(w(e)) <= 4n`` for the constructed tree, vs naive trees."""
+    obs = resolve_obs(obs)
     rows: List[Dict[str, Any]] = []
     for family in families:
         for n in sizes:
@@ -256,13 +262,14 @@ def experiment_e3_light_tree(
             except Exception:
                 continue
             nn = graph.num_nodes
-            light = tree_contribution(graph, light_spanning_tree(graph))
-            bfs_parent = build_spanning_tree(graph, "bfs")
-            bfs_edges = [(c, p) for c, p in bfs_parent.items() if p is not None]
-            bfs = tree_contribution(graph, bfs_edges)
-            dfs_parent = build_spanning_tree(graph, "dfs")
-            dfs_edges = [(c, p) for c, p in dfs_parent.items() if p is not None]
-            dfs = tree_contribution(graph, dfs_edges)
+            with obs.wallspan(f"cell/{family}/{n}"):
+                light = tree_contribution(graph, light_spanning_tree(graph))
+                bfs_parent = build_spanning_tree(graph, "bfs")
+                bfs_edges = [(c, p) for c, p in bfs_parent.items() if p is not None]
+                bfs = tree_contribution(graph, bfs_edges)
+                dfs_parent = build_spanning_tree(graph, "dfs")
+                dfs_edges = [(c, p) for c, p in dfs_parent.items() if p is not None]
+                dfs = tree_contribution(graph, dfs_edges)
             rows.append(
                 {
                     "family": family,
@@ -294,8 +301,10 @@ def experiment_e4_broadcast_upper(
     sizes: Sequence[int] = DEFAULT_SIZES,
     families: Sequence[str] = DEFAULT_FAMILIES,
     cache=None,
+    obs=None,
 ) -> ExperimentResult:
     """Oracle ``<= 8n`` bits; Scheme B ``<= 2(n-1)`` messages, all schedulers."""
+    obs = resolve_obs(obs)
     rows: List[Dict[str, Any]] = []
     for family in families:
         for n in sizes:
@@ -306,7 +315,8 @@ def experiment_e4_broadcast_upper(
             nn = graph.num_nodes
             oracle = LightTreeBroadcastOracle()
             advice = _cached_advice(cache, family, n, oracle, graph)
-            result = run_broadcast(graph, oracle, SchemeB(), advice=advice)
+            with obs.wallspan(f"cell/{family}/{n}"):
+                result = run_broadcast(graph, oracle, SchemeB(), advice=advice, obs=obs)
             hello = result.trace.messages_with_payload(HELLO_MESSAGE)
             msg = result.trace.messages_with_payload(SOURCE_MESSAGE)
             rows.append(
@@ -453,10 +463,12 @@ def experiment_e5_broadcast_lower(
 def experiment_e6_separation(
     sizes: Sequence[int] = (16, 32, 64, 128, 256),
     family: str = "complete",
+    obs=None,
 ) -> ExperimentResult:
     """Wakeup advice ``Theta(n log n)`` vs broadcast advice ``Theta(n)``."""
     builder = FAMILY_BUILDERS[family]
-    points = separation_profile(sizes, builder)
+    with resolve_obs(obs).wallspan(f"separation/{family}"):
+        points = separation_profile(sizes, builder)
     rows = [
         {
             "n": p.n,
@@ -491,8 +503,10 @@ def experiment_e7_robustness(
     families: Sequence[str] = ("gnp_sparse", "complete", "random_tree"),
     schedulers: Sequence[str] = ("sync", "fifo", "random", "delay-hello", "hurry-hello"),
     cache=None,
+    obs=None,
 ) -> ExperimentResult:
     """Async + anonymous + bounded messages: both upper bounds unaffected."""
+    obs = resolve_obs(obs)
     rows: List[Dict[str, Any]] = []
     for family in families:
         graph = _family_graph(family, n, cache)
@@ -503,22 +517,25 @@ def experiment_e7_robustness(
         bcast_advice = _cached_advice(cache, family, n, bcast_oracle, graph)
         for sched in schedulers:
             for anonymous in (False, True):
-                w = run_wakeup(
-                    graph,
-                    wake_oracle,
-                    TreeWakeup(),
-                    scheduler=make_scheduler(sched, seed=13),
-                    anonymous=anonymous,
-                    advice=wake_advice,
-                )
-                b = run_broadcast(
-                    graph,
-                    bcast_oracle,
-                    SchemeB(),
-                    scheduler=make_scheduler(sched, seed=13),
-                    anonymous=anonymous,
-                    advice=bcast_advice,
-                )
+                with obs.wallspan(f"cell/{family}/{sched}/anon={anonymous}"):
+                    w = run_wakeup(
+                        graph,
+                        wake_oracle,
+                        TreeWakeup(),
+                        scheduler=make_scheduler(sched, seed=13),
+                        anonymous=anonymous,
+                        advice=wake_advice,
+                        obs=obs,
+                    )
+                    b = run_broadcast(
+                        graph,
+                        bcast_oracle,
+                        SchemeB(),
+                        scheduler=make_scheduler(sched, seed=13),
+                        anonymous=anonymous,
+                        advice=bcast_advice,
+                        obs=obs,
+                    )
                 rows.append(
                     {
                         "family": family,
@@ -659,13 +676,18 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
 EXPERIMENTS.update(_extension_registry())
 
 
-def run_experiment(experiment_id: str, cache=None, **kwargs) -> ExperimentResult:
+def run_experiment(experiment_id: str, cache=None, obs=None, **kwargs) -> ExperimentResult:
     """Run one experiment from the registry by id (``E1`` .. ``E14``).
 
     ``cache`` — an optional :class:`repro.parallel.ConstructionCache` —
     is forwarded to experiments that declare a ``cache`` parameter (the
     graph-building ones); experiments that are pure numerics simply never
-    receive it.
+    receive it.  ``obs`` — an optional :class:`repro.obs.Observation` —
+    is forwarded the same way to experiments that declare an ``obs``
+    parameter (the sweep-style ones, which open a ``wallspan`` per cell
+    and thread the handle into their task runs); attach a
+    :class:`repro.obs.Profiler` to get the per-phase cost breakdown that
+    ``repro profile`` prints.
     """
     try:
         fn = EXPERIMENTS[experiment_id.upper()]
@@ -673,6 +695,9 @@ def run_experiment(experiment_id: str, cache=None, **kwargs) -> ExperimentResult
         raise ValueError(
             f"unknown experiment {experiment_id!r}; have {sorted(EXPERIMENTS)}"
         ) from None
-    if cache is not None and "cache" in inspect.signature(fn).parameters:
+    parameters = inspect.signature(fn).parameters
+    if cache is not None and "cache" in parameters:
         kwargs["cache"] = cache
+    if obs is not None and "obs" in parameters:
+        kwargs["obs"] = obs
     return fn(**kwargs)

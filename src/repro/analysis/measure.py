@@ -137,7 +137,10 @@ def run_sweep_cell(
         kwargs["obs"] = obs
     if "cache" in accepts and cache is not None:
         kwargs["cache"] = cache
-    row = measurement(family, n, graph, **kwargs)
+    # Profiler-only span (never an event): per-cell cost attribution for
+    # `repro profile`, invisible to the deterministic stream contracts.
+    with obs.wallspan(f"cell/{family}/{n}"):
+        row = measurement(family, n, graph, **kwargs)
     row.setdefault("family", family)
     row.setdefault("n", graph.num_nodes)
     row.setdefault("requested_n", n)

@@ -42,11 +42,23 @@ Commands
 ``trace --task broadcast --family kstar --n 64 --out run.jsonl``
     Run one task with full telemetry and export the structured event
     stream as JSONL (plus a wall-time-per-phase table on stdout).
-``stats run.jsonl``
-    Summarize a saved trace or sweep: per-run table, per-round delivery
-    histogram, replayed metrics registry, growth fits across sizes.
+    ``--format chrome|flame`` exports a Chrome/Perfetto trace or
+    collapsed-stack flamegraph text instead; ``--format
+    causal-json|causal-dot`` dumps the run's happened-before DAG
+    (message lineage, causal depth, critical path).
+``stats run.jsonl [more.jsonl ...]``
+    Summarize saved traces or sweeps: per-run table, per-round delivery
+    histogram, replayed metrics registry (with p50/p90/p99 columns),
+    growth fits across sizes.  Several files merge into one report.
+``profile E4 [--chrome out.json] [--flame out.txt]``
+    Run one experiment under the deterministic profiler: nested
+    per-phase wall-clock table (self/cumulative), optional Chrome-trace
+    and flamegraph exports.
 ``bench-export raw.json [--out BENCH_obs.json]``
     Convert pytest-benchmark JSON output into the committed perf record.
+
+``experiment``/``all`` additionally take ``--progress``: live
+done/failed/ETA heartbeats on stderr while the grid runs.
 """
 
 from __future__ import annotations
@@ -69,6 +81,7 @@ def _cmd_experiment(
     retries: Optional[int] = None,
     run_dir: Optional[str] = None,
     resume: Optional[str] = None,
+    progress: bool = False,
 ) -> int:
     from .parallel import ConstructionCache, resolve_workers, run_experiments
 
@@ -87,7 +100,7 @@ def _cmd_experiment(
             )
             return 2
         run_dir = resume
-    resilient = any(v is not None for v in (timeout, retries, run_dir))
+    resilient = progress or any(v is not None for v in (timeout, retries, run_dir))
     stats = None
     try:
         if resilient:
@@ -95,14 +108,28 @@ def _cmd_experiment(
             # crash isolation, and (with a run dir) a journal that makes
             # the run resumable.  Results still come back in request
             # order and print exactly what a serial run prints.
-            from .runner import DEFAULT_RETRIES, RetryPolicy, resilient_run_experiments
+            # ``--progress`` rides the same path: the runner settles one
+            # experiment at a time, which is what gives the heartbeats
+            # their done/failed counts and ETA.
+            from .runner import (
+                DEFAULT_RETRIES,
+                ProgressReporter,
+                RetryPolicy,
+                resilient_run_experiments,
+            )
 
             policy = RetryPolicy(
                 retries=retries if retries is not None else DEFAULT_RETRIES,
                 timeout=timeout,
             )
+            reporter = (
+                ProgressReporter(total=len(ids), label="experiments")
+                if progress
+                else None
+            )
             report = resilient_run_experiments(
-                ids, workers=workers, cache=cache, policy=policy, run_dir=run_dir
+                ids, workers=workers, cache=cache, policy=policy, run_dir=run_dir,
+                progress=reporter,
             )
             ordered = [report.results[eid] for eid in ids]
             stats = report.stats
@@ -297,6 +324,11 @@ def _make_trace_oracle(name: str):
     }[name]()
 
 
+#: ``repro trace --format`` choices: the JSONL event stream (default), the
+#: two profiler exports, and the two causal-DAG dumps.
+TRACE_FORMATS = ("jsonl", "chrome", "flame", "causal-json", "causal-dot")
+
+
 def _cmd_trace(
     task: str,
     family: str,
@@ -308,12 +340,21 @@ def _cmd_trace(
     out: str,
     audit: bool,
     trace_level: str = "full",
+    out_format: str = "jsonl",
 ) -> int:
     from .algorithms import ALGORITHM_REGISTRY
     from .analysis.tables import format_table
     from .core import run_broadcast, run_wakeup
     from .network.builders import FAMILY_BUILDERS
-    from .obs import JSONLSink, Observation
+    from .obs import (
+        JSONLSink,
+        MemorySink,
+        Observation,
+        Profiler,
+        build_causal_dag,
+        chrome_trace_json,
+        collapsed_stacks,
+    )
     from .simulator.schedulers import make_scheduler
 
     if audit and trace_level != "full":
@@ -344,7 +385,18 @@ def _cmd_trace(
         )
         return 2
     runner = run_broadcast if task == "broadcast" else run_wakeup
-    with Observation(JSONLSink(out)) as obs:
+    # One Observation per format family: jsonl streams straight to disk;
+    # the causal formats buffer events in memory to assemble the DAG; the
+    # profiler formats skip events entirely and record wall-clock spans.
+    profiler: Optional["Profiler"] = None
+    if out_format in ("chrome", "flame"):
+        profiler = Profiler()
+        obs_handle = Observation(profile=profiler)
+    elif out_format in ("causal-json", "causal-dot"):
+        obs_handle = Observation(MemorySink())
+    else:
+        obs_handle = Observation(JSONLSink(out))
+    with obs_handle as obs:
         result = runner(
             graph,
             oracle,
@@ -354,7 +406,7 @@ def _cmd_trace(
             obs=obs,
             trace_level=trace_level,
         )
-        events = obs.sink.count
+        events = getattr(obs.sink, "count", None)
     s = result.trace.summary()
     status = "ok" if result.success else "FAILED"
     print(
@@ -368,15 +420,46 @@ def _cmd_trace(
         print()
         print(format_table(timing_rows, title="Wall time per phase (seconds)"))
     print()
-    print(f"wrote {events} events to {out}")
+    if out_format == "jsonl":
+        print(f"wrote {events} events to {out}")
+    elif out_format in ("chrome", "flame"):
+        text = (
+            chrome_trace_json(profiler, process_name=f"repro trace {task}")
+            if out_format == "chrome"
+            else collapsed_stacks(profiler)
+        )
+        with open(out, "w", encoding="utf-8") as handle:
+            handle.write(text)
+            if not text.endswith("\n"):
+                handle.write("\n")
+        what = "Chrome trace" if out_format == "chrome" else "collapsed stacks"
+        print(f"wrote {what} ({len(profiler.records)} span(s)) to {out}")
+    else:
+        dag = build_causal_dag(obs.sink.events)
+        cs = dag.summary()
+        print(
+            f"causal DAG: {cs['messages']} messages, depth {cs['causal_depth']} "
+            f"(rounds {cs['rounds']}), critical path {len(cs['critical_path'])} "
+            f"message(s), max fan-out {cs['max_fanout']}"
+        )
+        text = dag.to_json() + "\n" if out_format == "causal-json" else dag.to_dot()
+        with open(out, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote causal {'JSON' if out_format == 'causal-json' else 'DOT'} to {out}")
     return 0 if result.success else 1
 
 
-def _cmd_stats(path: str) -> int:
+def _cmd_stats(paths: List[str]) -> int:
     from .obs import read_jsonl, stats_report
 
+    # Multiple trace files merge by concatenation, in argument order: the
+    # streams are self-delimiting (run_started brackets each run), so the
+    # replayed registry is exactly what one Observation seeing all the
+    # runs would have held.
+    events: List = []
     try:
-        events = read_jsonl(path)
+        for path in paths:
+            events.extend(read_jsonl(path))
     except (OSError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -388,6 +471,49 @@ def _cmd_stats(path: str) -> int:
         sys.stdout = open(os.devnull, "w")
         return 0
     return 0
+
+
+def _cmd_profile(
+    experiment_id: str,
+    chrome_out: Optional[str],
+    flame_out: Optional[str],
+    use_cache: bool,
+) -> int:
+    """Run one experiment with a profiler attached and print the per-phase
+    cost table (self/cumulative seconds, fully nested)."""
+    from .analysis.tables import format_table
+    from .obs import Observation, Profiler, chrome_trace_json, collapsed_stacks
+    from .parallel import ConstructionCache
+
+    cache = ConstructionCache.persistent() if use_cache else None
+    profiler = Profiler()
+    # Profile-only Observation: no sink, no metrics, so the hot paths stay
+    # dark (enabled=False) and the numbers reflect an unobserved run.
+    obs = Observation(profile=profiler)
+    try:
+        with profiler.span(experiment_id.upper()):
+            result = run_experiment(experiment_id, cache=cache, obs=obs)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(format_experiment(result))
+    print()
+    rows = profiler.as_rows()
+    if rows:
+        print(format_table(rows, title="Profile (seconds; self = excluding children)"))
+        print()
+    print(f"total profiled wall time: {profiler.total_s:.3f}s over {len(profiler.records)} span(s)")
+    if chrome_out:
+        with open(chrome_out, "w", encoding="utf-8") as handle:
+            handle.write(chrome_trace_json(profiler, process_name=f"repro profile {experiment_id}"))
+            handle.write("\n")
+        print(f"wrote Chrome trace to {chrome_out} (open in chrome://tracing or ui.perfetto.dev)")
+    if flame_out:
+        with open(flame_out, "w", encoding="utf-8") as handle:
+            handle.write(collapsed_stacks(profiler))
+        print(f"wrote collapsed stacks to {flame_out} (feed to flamegraph.pl or speedscope)")
+    bad = [r for r in result.rows if r.get("ok") is False or r.get("success") is False]
+    return 1 if bad else 0
 
 
 def _cmd_bench_export(in_path: str, out_path: str) -> int:
@@ -461,6 +587,12 @@ def main(argv: Optional[List[str]] = None) -> int:
             metavar="RUN_DIR",
             help="resume an interrupted --run-dir run: journaled experiments "
             "are replayed byte-identically, missing ones are computed",
+        )
+        p.add_argument(
+            "--progress",
+            action="store_true",
+            help="print live done/failed/ETA heartbeats to stderr (routes "
+            "through the fault-tolerant runner; stdout is unaffected)",
         )
 
     sub.add_parser("list", help="list the experiment registry")
@@ -543,11 +675,47 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="'counters' skips the per-delivery log (incompatible with --audit); "
         "the exported JSONL event stream is identical either way",
     )
+    p_trace.add_argument(
+        "--format",
+        dest="out_format",
+        choices=TRACE_FORMATS,
+        default="jsonl",
+        help="what --out receives: the JSONL event stream (default), a "
+        "Chrome/Perfetto trace, collapsed-stack flamegraph text, or the "
+        "happened-before DAG as canonical JSON / Graphviz DOT",
+    )
 
     p_stats = sub.add_parser(
-        "stats", help="summarize a saved JSONL trace (tables, metrics, growth fits)"
+        "stats", help="summarize saved JSONL traces (tables, metrics, growth fits)"
     )
-    p_stats.add_argument("path", help="JSONL trace written by `repro trace` or a JSONLSink")
+    p_stats.add_argument(
+        "paths",
+        nargs="+",
+        metavar="PATH",
+        help="JSONL trace(s) written by `repro trace` or a JSONLSink; "
+        "several files merge into one report",
+    )
+
+    p_profile = sub.add_parser(
+        "profile",
+        help="run one experiment under the deterministic profiler and print "
+        "the per-phase cost table",
+    )
+    p_profile.add_argument("id", metavar="ID", help="experiment id (see `repro list`)")
+    p_profile.add_argument(
+        "--chrome", default=None, metavar="FILE",
+        help="also write a Chrome-trace JSON (chrome://tracing, ui.perfetto.dev)",
+    )
+    p_profile.add_argument(
+        "--flame", default=None, metavar="FILE",
+        help="also write collapsed-stack flamegraph text (flamegraph.pl, speedscope)",
+    )
+    p_profile.add_argument(
+        "--cache",
+        action=argparse.BooleanOptionalAction,
+        default=False,
+        help="persist built graphs/advice under $REPRO_CACHE_DIR",
+    )
 
     p_bench = sub.add_parser(
         "bench-export", help="convert pytest-benchmark JSON to BENCH_obs.json"
@@ -582,12 +750,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command in ("experiment", "exp"):
         return _cmd_experiment(
             args.ids, args.workers, args.cache,
-            args.timeout, args.retries, args.run_dir, args.resume,
+            args.timeout, args.retries, args.run_dir, args.resume, args.progress,
         )
     if args.command == "all":
         return _cmd_experiment(
             sorted(EXPERIMENTS), args.workers, args.cache,
-            args.timeout, args.retries, args.run_dir, args.resume,
+            args.timeout, args.retries, args.run_dir, args.resume, args.progress,
         )
     if args.command == "list":
         return _cmd_list()
@@ -622,9 +790,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_trace(
             args.task, args.family, args.n, args.oracle, args.algorithm,
             args.scheduler, args.seed, args.out, args.audit, args.trace_level,
+            args.out_format,
         )
     if args.command == "stats":
-        return _cmd_stats(args.path)
+        return _cmd_stats(args.paths)
+    if args.command == "profile":
+        return _cmd_profile(args.id, args.chrome, args.flame, args.cache)
     if args.command == "bench-export":
         return _cmd_bench_export(args.input, args.out)
     if args.command == "sanitize":

@@ -60,11 +60,13 @@ def run_fastpath(sim) -> "ExecutionTrace":  # noqa: F821 - forward ref in doc on
     plain :class:`SynchronousScheduler` (the overwhelmingly common case),
     and the generic compiled loop otherwise.
     """
-    topo = compiled_topology(sim._graph)
+    with sim._obs.wallspan("compile"):
+        topo = compiled_topology(sim._graph)
     scheduler = sim._scheduler
-    if type(scheduler) is SynchronousScheduler and scheduler.empty():
-        return _run_sync(sim, topo)
-    return _run_generic(sim, topo)
+    with sim._obs.wallspan("engine"):
+        if type(scheduler) is SynchronousScheduler and scheduler.empty():
+            return _run_sync(sim, topo)
+        return _run_generic(sim, topo)
 
 
 def _emit_run_started(sim) -> None:
@@ -117,12 +119,13 @@ def _run_sync(sim, topo):
     step = 0
     limit_hit = trace.message_limit_hit
 
-    def enqueue(i: int, sends, deliver_at: int, out: List[Tuple]) -> None:
+    def enqueue(i: int, sends, deliver_at: int, out: List[Tuple], cause: int) -> None:
         """Turn one drain's send requests into round-``deliver_at`` tuples.
 
         Mirrors ``Simulation._enqueue`` exactly: the message limit is
         checked *before* each send, tripping it drops the rest of this
-        drain and emits one LimitHit.
+        drain and emits one LimitHit.  ``cause`` is the seq of the
+        delivery that triggered the drain (0 for init sends).
         """
         nonlocal seq, messages_sent, limit_hit
         rt = runtimes[i]
@@ -171,6 +174,7 @@ def _run_sync(sim, topo):
                         payload=request.payload,
                         sender_informed=informed_flag,
                         round=deliver_at,
+                        cause=cause,
                     )
                 )
 
@@ -189,7 +193,7 @@ def _run_sync(sim, topo):
                     f"node {labels[i]!r} transmitted on an empty history "
                     "during a wakeup"
                 )
-            enqueue(i, sends, 1, pending)
+            enqueue(i, sends, 1, pending, 0)
 
     # ------------------------------------------------------------------
     # Round loop.
@@ -274,7 +278,7 @@ def _run_sync(sim, topo):
             sends = ctx._outbox
             if sends:
                 ctx._outbox = []
-                enqueue(j, sends, round_no + 1, nxt)
+                enqueue(j, sends, round_no + 1, nxt, mseq)
             if stop_when_informed and len(informed_at) == n:
                 stopped = True
                 broke = True
@@ -373,7 +377,7 @@ def _run_generic(sim, topo):
 
     limit_hit = trace.message_limit_hit
 
-    def enqueue(runtime, sends, deliver_at: int) -> bool:
+    def enqueue(runtime, sends, deliver_at: int, cause: int) -> bool:
         nonlocal limit_hit
         base = offsets[index[runtime.label]]
         informed_flag = runtime.informed
@@ -418,6 +422,7 @@ def _run_generic(sim, topo):
                         payload=msg.payload,
                         sender_informed=msg.sender_informed,
                         round=deliver_at,
+                        cause=cause,
                     )
                 )
         return False
@@ -429,7 +434,7 @@ def _run_generic(sim, topo):
             raise WakeupViolation(
                 f"node {v!r} transmitted on an empty history during a wakeup"
             )
-        enqueue(runtime, sends, 1)
+        enqueue(runtime, sends, 1, 0)
 
     step = 0
     limit_hit = limit_hit or trace.message_limit_hit
@@ -493,7 +498,7 @@ def _run_generic(sim, topo):
                 )
             )
         receiver.process.on_receive(receiver.context, msg.payload, msg.arrival_port)
-        enqueue(receiver, receiver.context.drain(), msg.deliver_at + 1)
+        enqueue(receiver, receiver.context.drain(), msg.deliver_at + 1, msg.seq)
         if stop_when_informed and len(informed_at) == n:
             break
     trace.message_limit_hit = limit_hit

@@ -234,9 +234,11 @@ _CLOCK_ATTRS = {
 _DATETIME_ATTRS = {"now", "utcnow", "today"}
 _UUID_ATTRS = {"uuid1", "uuid4"}
 
-#: The one sanctioned wall-clock site: the Observation.span timings
-#: registry, which never feeds the event stream (see repro/obs/observe.py).
-_DET002_ALLOWED_SUFFIXES = ("obs/observe.py",)
+#: The sanctioned wall-clock sites: the Observation.span timings registry
+#: and the nested-span profiler built on it — both live strictly on the
+#: wall-clock axis and never feed the event stream (see repro/obs/observe.py
+#: and repro/obs/profile.py).
+_DET002_ALLOWED_SUFFIXES = ("obs/observe.py", "obs/profile.py")
 
 
 def _det002_exempt(model: ModuleModel) -> bool:

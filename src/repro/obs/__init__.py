@@ -13,6 +13,17 @@ This package is the library's measurement substrate.  Three layers:
   derived from events through one shared reducer, plus a separate
   wall-clock ``timings`` registry fed by :meth:`Observation.span`.
 
+Two derived layers sit on top:
+
+* **Causal tracing** (:mod:`repro.obs.causal`) — the happened-before DAG
+  of a run, rebuilt from the event stream via the ``cause`` field on
+  every send: message lineage, causal depth (== rounds under the
+  synchronous scheduler), critical paths, fan-out stats, DOT/JSON export.
+* **Profiling** (:mod:`repro.obs.profile`) — nested wall-clock spans with
+  self/cumulative time (attach a :class:`Profiler` via
+  ``Observation(profile=...)``), exported as Chrome-trace JSON or
+  collapsed-stack flamegraph text.  ``repro profile`` is the CLI face.
+
 Usage::
 
     from repro.obs import Observation, JSONLSink
@@ -51,6 +62,15 @@ from .events import (
     jsonable,
 )
 from .bench import BENCH_SCHEMA, convert_benchmark_json, emit_bench_obs
+from .causal import (
+    CAUSAL_SCHEMA,
+    CausalDag,
+    CausalTraceError,
+    MessageNode,
+    build_causal_dag,
+    causal_dag_from_jsonl,
+    causal_dags,
+)
 from .export import (
     per_round_rows,
     read_jsonl,
@@ -61,6 +81,14 @@ from .export import (
 )
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry, apply_event
 from .observe import NULL_OBSERVATION, Observation, resolve_obs
+from .profile import (
+    PhaseStat,
+    Profiler,
+    SpanRecord,
+    chrome_trace,
+    chrome_trace_json,
+    collapsed_stacks,
+)
 from .sinks import EventSink, JSONLSink, MemorySink, NullSink, TeeSink, encode_event
 
 __all__ = [
@@ -103,6 +131,21 @@ __all__ = [
     "Observation",
     "NULL_OBSERVATION",
     "resolve_obs",
+    # profiler
+    "Profiler",
+    "SpanRecord",
+    "PhaseStat",
+    "chrome_trace",
+    "chrome_trace_json",
+    "collapsed_stacks",
+    # causal tracing
+    "CAUSAL_SCHEMA",
+    "CausalDag",
+    "CausalTraceError",
+    "MessageNode",
+    "build_causal_dag",
+    "causal_dags",
+    "causal_dag_from_jsonl",
     # export / stats
     "read_jsonl",
     "replay_metrics",

@@ -140,7 +140,15 @@ class RoundStarted(Event):
 
 @dataclass(frozen=True)
 class MessageSent(Event):
-    """One message entered the in-flight set."""
+    """One message entered the in-flight set.
+
+    ``cause`` is the happened-before link: the ``seq`` of the delivery
+    whose receiving scheme issued this send, or ``0`` for spontaneous
+    sends (the init phase, where processes run on the empty history).
+    Threading it here — rather than reconstructing it from stream order —
+    makes the causal DAG (:mod:`repro.obs.causal`) a pure function of the
+    events, robust to filtered or re-merged streams.
+    """
 
     kind: ClassVar[str] = "message_sent"
     seq: int
@@ -151,6 +159,7 @@ class MessageSent(Event):
     payload: Any
     sender_informed: bool
     round: int
+    cause: int = 0
 
 
 @dataclass(frozen=True)

@@ -135,7 +135,10 @@ def stats_report(events: List[Mapping[str, Any]]) -> str:
         parts.append(
             format_table(
                 metrics.as_rows(),
-                columns=("metric", "type", "value", "count", "sum", "min", "max", "mean"),
+                columns=(
+                    "metric", "type", "value", "count", "sum",
+                    "min", "max", "mean", "p50", "p90", "p99",
+                ),
                 title="Metrics",
             )
         )

@@ -83,6 +83,25 @@ class Histogram:
     def mean(self) -> Optional[float]:
         return self.total / self.count if self.count else None
 
+    def quantile(self, q: float) -> Optional[Number]:
+        """Exact nearest-rank quantile from the per-value counts.
+
+        ``quantile(0.5)`` is the median observation; ``quantile(0)`` is the
+        min and ``quantile(1)`` the max.  Exact because the histogram keeps
+        every distinct value — no bucketing error to apologize for.
+        """
+        if not 0 <= q <= 1:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if not self.count:
+            return None
+        rank = max(1, -(-int(q * self.count * 10**9) // 10**9))  # ceil, fp-safe
+        seen = 0
+        for value in sorted(self.counts):
+            seen += self.counts[value]
+            if seen >= rank:
+                return value
+        return self.max
+
     def snapshot(self) -> Dict[str, Any]:
         return {
             "type": "histogram",
@@ -91,6 +110,9 @@ class Histogram:
             "min": self.min,
             "max": self.max,
             "mean": self.mean,
+            "p50": self.quantile(0.5),
+            "p90": self.quantile(0.9),
+            "p99": self.quantile(0.99),
             "counts": {str(k): v for k, v in sorted(self.counts.items())},
         }
 
@@ -144,6 +166,7 @@ class MetricsRegistry:
                 row.update(
                     count=snap["count"], sum=snap["sum"], min=snap["min"],
                     max=snap["max"], mean=snap["mean"],
+                    p50=snap["p50"], p90=snap["p90"], p99=snap["p99"],
                 )
             else:
                 row["value"] = snap["value"]

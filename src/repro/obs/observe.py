@@ -30,30 +30,39 @@ from typing import Iterator, Optional
 
 from .events import Event, SpanEnded, SpanStarted
 from .metrics import MetricsRegistry, apply_event
+from .profile import Profiler
 from .sinks import EventSink, NullSink
 
 __all__ = ["Observation", "NULL_OBSERVATION", "resolve_obs"]
 
 
 class Observation:
-    """One sink + one event-derived metrics registry + one timings registry.
+    """One sink + one event-derived metrics registry + one timings registry
+    (+ optionally one nested-span profiler).
 
-    ``enabled`` is True when there is anywhere for telemetry to go: a
+    ``enabled`` is True when there is anywhere for *events* to go: a
     non-null sink, or an explicitly supplied metrics registry (metrics
     without an event file is a perfectly good way to watch a run).
+    Attaching a ``profile`` (:class:`repro.obs.Profiler`) deliberately
+    does **not** enable the event stream: a profile-only Observation keeps
+    the hot paths dark — no event construction, no metric folds — while
+    every span the library opens is still recorded with full nesting,
+    which is exactly what ``repro profile`` wants to measure.
     """
 
-    __slots__ = ("sink", "metrics", "timings", "enabled")
+    __slots__ = ("sink", "metrics", "timings", "profile", "enabled")
 
     def __init__(
         self,
         sink: Optional[EventSink] = None,
         metrics: Optional[MetricsRegistry] = None,
+        profile: Optional[Profiler] = None,
     ) -> None:
         self.sink: EventSink = sink if sink is not None else NullSink()
         explicit_metrics = metrics is not None
         self.metrics: MetricsRegistry = metrics if explicit_metrics else MetricsRegistry()
         self.timings = MetricsRegistry()
+        self.profile = profile
         self.enabled = bool(self.sink.enabled or explicit_metrics)
 
     def emit(self, event: Event) -> None:
@@ -70,18 +79,50 @@ class Observation:
 
         Emits logical :class:`SpanStarted`/:class:`SpanEnded` markers into
         the event stream; the measured duration never enters the stream.
+        With a :attr:`profile` attached, the span is also recorded as a
+        nested frame (self/cumulative time, Chrome-trace export).
         """
-        if not self.enabled:
+        profile = self.profile
+        if not self.enabled and profile is None:
             yield
             return
-        self.emit(SpanStarted(name))
+        if self.enabled:
+            self.emit(SpanStarted(name))
+        if profile is not None:
+            profile.begin(name)
         start = perf_counter()
         try:
             yield
         finally:
             elapsed = perf_counter() - start
+            if profile is not None:
+                profile.end()
             self.timings.histogram(f"walltime_s.{name}").observe(elapsed)
-            self.emit(SpanEnded(name))
+            if self.enabled:
+                self.emit(SpanEnded(name))
+
+    @contextmanager
+    def wallspan(self, name: str) -> Iterator[None]:
+        """A profiler-only span: no event-stream markers, ever.
+
+        Used for phases that exist on only one execution path (topology
+        compile, the fastpath round loop, the runner's merge): emitting
+        logical markers there would break the byte-identity contracts
+        between paths, so these spans live purely on the wall-clock axis.
+        No-op (one attribute check) unless a profiler is attached.
+        """
+        profile = self.profile
+        if profile is None:
+            yield
+            return
+        profile.begin(name)
+        start = perf_counter()
+        try:
+            yield
+        finally:
+            profile.end()
+            elapsed = perf_counter() - start
+            self.timings.histogram(f"walltime_s.{name}").observe(elapsed)
 
     def close(self) -> None:
         """Close the sink (flushing file sinks)."""

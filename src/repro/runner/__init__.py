@@ -37,11 +37,13 @@ from .journal import (
     cell_key,
     load_journal,
 )
+from .progress import ProgressReporter
 from .retry import DEFAULT_RETRIES, RetryPolicy
 
 __all__ = [
     "CellOutcome",
     "DEFAULT_RETRIES",
+    "ProgressReporter",
     "JOURNAL_NAME",
     "JOURNAL_SCHEMA",
     "JournalEntry",

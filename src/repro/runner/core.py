@@ -70,6 +70,7 @@ from ..parallel.executor import (
     sweep_cell_task,
 )
 from .journal import JOURNAL_NAME, JournalEntry, RunJournal, cell_key, load_journal
+from .progress import ProgressReporter
 from .retry import RetryPolicy
 
 __all__ = [
@@ -269,6 +270,7 @@ def execute_units(
     runner_obs: Optional[Observation] = None,
     cache_spec: Optional[CacheSpec] = None,
     normalize: Optional[Normalize] = None,
+    progress: Optional["ProgressReporter"] = None,
 ) -> Tuple[Dict[str, CellOutcome], RunStats]:
     """Run every unit to a settled outcome, fault-tolerantly.
 
@@ -277,7 +279,9 @@ def execute_units(
     entries with status ``done`` are replayed without recomputation
     (``failed`` entries get a fresh chance).  ``runner_obs`` receives the
     fault/retry/resume telemetry; the deterministic result stream is the
-    caller's business entirely.
+    caller's business entirely.  ``progress`` — an optional
+    :class:`repro.runner.progress.ProgressReporter` — gets a heartbeat per
+    settled cell (stderr only; results are unaffected).
     """
     obs = resolve_obs(runner_obs)
     normalize = normalize or _default_normalize
@@ -301,10 +305,14 @@ def execute_units(
             stats.done += 1
             if obs.enabled:
                 obs.emit(CellResumed(experiment=unit.experiment, cell=unit.cell))
+            if progress is not None:
+                progress.cell_done(resumed=True)
         else:
             pending.append((unit, 0))
 
     if not pending:
+        if progress is not None:
+            progress.finish()
         return outcomes, stats
 
     # A hard ceiling on pool recycles: every recycle charges at least one
@@ -344,6 +352,8 @@ def execute_units(
             outcomes[unit.key] = CellOutcome(
                 unit, "failed", attempts=attempts, error=error, detail=detail
             )
+            if progress is not None:
+                progress.cell_failed()
             if journal is not None:
                 journal.append(
                     JournalEntry(
@@ -382,6 +392,8 @@ def execute_units(
             unit, "done", attempts=attempts, row=row, events=events
         )
         stats.done += 1
+        if progress is not None:
+            progress.cell_done()
         if journal is not None:
             journal.append(
                 JournalEntry(
@@ -491,6 +503,8 @@ def execute_units(
     finally:
         pool.shutdown()
 
+    if progress is not None:
+        progress.finish()
     return outcomes, stats
 
 
@@ -531,6 +545,7 @@ def resilient_sweep_families(
     run_dir: Optional[str] = None,
     runner_obs: Optional[Observation] = None,
     label: Optional[str] = None,
+    progress: Optional[ProgressReporter] = None,
 ) -> RunReport:
     """:func:`repro.parallel.parallel_sweep_families`, fault-tolerantly.
 
@@ -578,6 +593,7 @@ def resilient_sweep_families(
             runner_obs=runner_obs,
             cache_spec=cache.spec() if cache is not None else None,
             normalize=_sweep_normalize,
+            progress=progress,
         )
     finally:
         if journal is not None:
@@ -588,24 +604,25 @@ def resilient_sweep_families(
     stats.corrupt_journal_lines = corrupt
 
     rows: List[Dict[str, Any]] = []
-    for unit in units:
-        outcome = outcomes[unit.key]
-        if outcome.status == "done":
-            rows.append(outcome.row)
-            if obs.enabled:
-                for event in outcome.events:
-                    obs.emit(ReplayedEvent(event))
-        else:
-            meta = unit.meta_dict
-            rows.append(
-                failed_row(
-                    meta["family"],
-                    meta["n"],
-                    outcome.error or "Error",
-                    outcome.detail or "",
-                    outcome.attempts,
+    with obs.wallspan("merge"):
+        for unit in units:
+            outcome = outcomes[unit.key]
+            if outcome.status == "done":
+                rows.append(outcome.row)
+                if obs.enabled:
+                    for event in outcome.events:
+                        obs.emit(ReplayedEvent(event))
+            else:
+                meta = unit.meta_dict
+                rows.append(
+                    failed_row(
+                        meta["family"],
+                        meta["n"],
+                        outcome.error or "Error",
+                        outcome.detail or "",
+                        outcome.attempts,
+                    )
                 )
-            )
     if run_dir is not None:
         with open(os.path.join(run_dir, ROWS_NAME), "w", encoding="utf-8") as handle:
             json.dump(rows, handle, indent=2)
@@ -658,6 +675,7 @@ def resilient_run_experiments(
     policy: Optional[RetryPolicy] = None,
     run_dir: Optional[str] = None,
     runner_obs: Optional[Observation] = None,
+    progress: Optional[ProgressReporter] = None,
 ) -> RunReport:
     """:func:`repro.parallel.run_experiments`, fault-tolerantly.
 
@@ -704,6 +722,7 @@ def resilient_run_experiments(
             journaled=journaled,
             runner_obs=runner_obs,
             cache_spec=cache.spec() if cache is not None else None,
+            progress=progress,
         )
     finally:
         if journal is not None:

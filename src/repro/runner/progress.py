@@ -1,0 +1,109 @@
+"""Live progress heartbeats for long runner invocations.
+
+The fault-tolerant runner settles cells one at a time; a
+:class:`ProgressReporter` attached to :func:`repro.runner.execute_units`
+turns each settlement into a one-line heartbeat on stderr::
+
+    [all] 7/14 done, 1 failed | elapsed 12.4s, eta 11.8s
+
+Heartbeats are *presentation*, never data: they go to stderr (stdout's
+tables and the JSONL streams stay byte-identical with or without
+``--progress``), they are throttled to at most one line per interval so a
+thousand-cell sweep doesn't scroll the terminal, and the final line always
+prints so the last state is visible.  ETA is the naive linear estimate —
+elapsed time per settled cell times the cells outstanding — which is exact
+for uniform grids and honest enough for skewed ones.
+
+Wall-clock discipline: this module reads ``time.monotonic`` (accepted in
+``lint_baseline.json``), keeping DET002's no-clock rule intact for the
+deterministic core.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Optional, TextIO
+
+__all__ = ["ProgressReporter"]
+
+
+class ProgressReporter:
+    """Throttled done/failed/ETA heartbeats over a fixed-size unit set."""
+
+    def __init__(
+        self,
+        total: int,
+        label: str = "run",
+        stream: Optional[TextIO] = None,
+        min_interval_s: float = 0.5,
+    ) -> None:
+        self.total = total
+        self.label = label
+        self.stream = stream if stream is not None else sys.stderr
+        self.min_interval_s = min_interval_s
+        self.done = 0
+        self.failed = 0
+        self.resumed = 0
+        self._start = time.monotonic()
+        self._last_emit: Optional[float] = None
+        self._emitted_settled = -1  # settled count at the last line printed
+
+    # -- what the runner reports ----------------------------------------
+    def cell_done(self, resumed: bool = False) -> None:
+        self.done += 1
+        if resumed:
+            self.resumed += 1
+        self._emit()
+
+    def cell_failed(self) -> None:
+        self.failed += 1
+        self._emit()
+
+    def finish(self) -> None:
+        """Force the final line out regardless of throttling (a no-op when
+        the last settlement already printed this exact state)."""
+        if self._emitted_settled != self.settled:
+            self._emit(force=True)
+
+    # -- rendering -------------------------------------------------------
+    @property
+    def settled(self) -> int:
+        return self.done + self.failed
+
+    def eta_s(self) -> Optional[float]:
+        settled = self.settled
+        if not settled or settled >= self.total:
+            return None
+        fresh = settled - self.resumed
+        if not fresh:
+            return None  # only replayed journal entries so far: no rate yet
+        elapsed = time.monotonic() - self._start
+        return elapsed / fresh * (self.total - settled)
+
+    def line(self) -> str:
+        parts = [f"[{self.label}] {self.done}/{self.total} done"]
+        if self.failed:
+            parts.append(f"{self.failed} failed")
+        if self.resumed:
+            parts.append(f"{self.resumed} resumed")
+        elapsed = time.monotonic() - self._start
+        timing = f"elapsed {elapsed:.1f}s"
+        eta = self.eta_s()
+        if eta is not None:
+            timing += f", eta {eta:.1f}s"
+        return ", ".join(parts) + " | " + timing
+
+    def _emit(self, force: bool = False) -> None:
+        now = time.monotonic()
+        is_last = self.settled >= self.total
+        if (
+            not force
+            and not is_last
+            and self._last_emit is not None
+            and now - self._last_emit < self.min_interval_s
+        ):
+            return
+        self._last_emit = now
+        self._emitted_settled = self.settled
+        print(self.line(), file=self.stream, flush=True)

@@ -204,7 +204,7 @@ class Simulation:
                 raise WakeupViolation(
                     f"node {v!r} transmitted on an empty history during a wakeup"
                 )
-            self._enqueue(runtime, sends, deliver_at=1)
+            self._enqueue(runtime, sends, deliver_at=1, cause=0)
 
         step = 0
         limit_hit = trace.message_limit_hit
@@ -261,7 +261,8 @@ class Simulation:
                 )
             receiver.process.on_receive(receiver.context, msg.payload, msg.arrival_port)
             limit_hit = self._enqueue(
-                receiver, receiver.context.drain(), deliver_at=msg.deliver_at + 1
+                receiver, receiver.context.drain(), deliver_at=msg.deliver_at + 1,
+                cause=msg.seq,
             )
             if self._stop_when_informed and len(trace.informed_at) == self._graph.num_nodes:
                 break
@@ -288,8 +289,15 @@ class Simulation:
         return trace
 
     # ------------------------------------------------------------------
-    def _enqueue(self, runtime: NodeRuntime, sends, deliver_at: int) -> bool:
-        """Turn send requests into in-flight messages; returns limit flag."""
+    def _enqueue(
+        self, runtime: NodeRuntime, sends, deliver_at: int, cause: int = 0
+    ) -> bool:
+        """Turn send requests into in-flight messages; returns limit flag.
+
+        ``cause`` is the seq of the delivery that triggered these sends
+        (0 for the spontaneous init phase) — the happened-before edge the
+        causal tracer consumes.
+        """
         graph = self._graph
         for request in sends:
             if (
@@ -323,6 +331,7 @@ class Simulation:
                         payload=msg.payload,
                         sender_informed=msg.sender_informed,
                         round=deliver_at,
+                        cause=cause,
                     )
                 )
         return False

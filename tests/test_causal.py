@@ -1,0 +1,505 @@
+"""Tests for the causal tracing layer: happened-before DAG assembly,
+the synchronous depth == rounds invariant, byte-identity of the canonical
+JSON across engines/seeds/rebuilds, the cause-less inference fallback,
+and the error surface of inconsistent streams."""
+
+import io
+import json
+
+import pytest
+
+from repro.algorithms import Flooding, SchemeB, TreeWakeup
+from repro.cli import main
+from repro.core import run_broadcast, run_wakeup
+from repro.network import complete_graph_star, path_graph
+from repro.obs import (
+    CAUSAL_SCHEMA,
+    CausalTraceError,
+    JSONLSink,
+    MemorySink,
+    Observation,
+    build_causal_dag,
+    causal_dag_from_jsonl,
+    causal_dags,
+)
+from repro.obs.causal import ROOT_CAUSE
+from repro.oracles import LightTreeBroadcastOracle, NullOracle, SpanningTreeWakeupOracle
+from repro.simulator import make_scheduler
+
+SCHEDULERS = ("sync", "fifo", "random", "delay-hello")
+SEEDS = (0, 1, 2)
+
+
+def _capture(task, graph, oracle, algorithm, scheduler_name, seed):
+    """Run one task and return (TaskResult, captured events)."""
+    obs = Observation(MemorySink())
+    runner = run_broadcast if task == "broadcast" else run_wakeup
+    result = runner(
+        graph,
+        oracle,
+        algorithm,
+        scheduler=make_scheduler(scheduler_name, seed=seed),
+        obs=obs,
+    )
+    return result, obs.sink.events
+
+
+# ----------------------------------------------------------------------
+# Synthetic stream helpers (dict events, the JSONL decoding shape)
+# ----------------------------------------------------------------------
+def _run_started(**overrides):
+    data = {
+        "event": "run_started",
+        "task": "broadcast",
+        "nodes": 3,
+        "edges": 2,
+        "source": 0,
+        "scheduler": "SynchronousScheduler",
+        "anonymous": False,
+        "wakeup": False,
+    }
+    data.update(overrides)
+    return data
+
+
+def _sent(seq, cause, sender=0, receiver=1, rnd=0, **overrides):
+    data = {
+        "event": "message_sent",
+        "seq": seq,
+        "sender": sender,
+        "receiver": receiver,
+        "send_port": 0,
+        "arrival_port": 0,
+        "payload": "m",
+        "sender_informed": True,
+        "round": rnd,
+        "cause": cause,
+    }
+    data.update(overrides)
+    return data
+
+
+def _delivered(seq, step, rnd=1, **overrides):
+    data = {
+        "event": "message_delivered",
+        "step": step,
+        "seq": seq,
+        "sender": 0,
+        "receiver": 1,
+        "arrival_port": 0,
+        "payload": "m",
+        "round": rnd,
+        "newly_informed": True,
+    }
+    data.update(overrides)
+    return data
+
+
+def _run_ended(messages, delivered, rounds, **overrides):
+    data = {
+        "event": "run_ended",
+        "messages": messages,
+        "delivered": delivered,
+        "rounds": rounds,
+        "informed": 3,
+        "nodes": 3,
+        "undelivered": messages - delivered,
+        "completed": True,
+        "limit_hit": False,
+    }
+    data.update(overrides)
+    return data
+
+
+class TestDeterminismMatrix:
+    """The canonical JSON is byte-identical across both engines, across
+    repeat runs, for every scheduler and seed — the causal layer inherits
+    the stream's determinism contract wholesale."""
+
+    @pytest.mark.parametrize("scheduler_name", SCHEDULERS)
+    def test_byte_identity_across_engines_and_repeats(
+        self, scheduler_name, monkeypatch
+    ):
+        graph = complete_graph_star(8)
+        for seed in SEEDS:
+            renderings = []
+            for fastpath in ("0", "1", "1"):  # legacy, fast, fast again
+                monkeypatch.setenv("REPRO_FASTPATH", fastpath)
+                _, events = _capture(
+                    "broadcast",
+                    graph,
+                    LightTreeBroadcastOracle(),
+                    SchemeB(),
+                    scheduler_name,
+                    seed,
+                )
+                renderings.append(build_causal_dag(events).to_json())
+            label = f"{scheduler_name}/seed={seed}"
+            assert renderings[0] == renderings[1], f"engine diverged: {label}"
+            assert renderings[1] == renderings[2], f"repeat diverged: {label}"
+
+    def test_rebuild_of_one_stream_is_identical(self):
+        _, events = _capture(
+            "wakeup",
+            path_graph(6),
+            SpanningTreeWakeupOracle(),
+            TreeWakeup(),
+            "sync",
+            0,
+        )
+        assert build_causal_dag(events).to_json() == build_causal_dag(events).to_json()
+
+
+class TestSynchronousInvariant:
+    """Under the synchronous scheduler a message triggered in round r is
+    delivered in round r+1, so the longest happened-before chain has
+    exactly one message per round: causal depth == the engine's rounds."""
+
+    @pytest.mark.parametrize(
+        "task,graph,oracle,algorithm",
+        [
+            ("broadcast", complete_graph_star(8), LightTreeBroadcastOracle(), SchemeB()),
+            ("broadcast", path_graph(7), NullOracle(), Flooding()),
+            ("wakeup", path_graph(6), SpanningTreeWakeupOracle(), TreeWakeup()),
+            ("wakeup", complete_graph_star(9), SpanningTreeWakeupOracle(), TreeWakeup()),
+        ],
+    )
+    def test_depth_equals_rounds(self, task, graph, oracle, algorithm):
+        result, events = _capture(task, graph, oracle, algorithm, "sync", 0)
+        dag = build_causal_dag(events)  # validate=True re-checks this too
+        assert dag.causal_depth == result.trace.rounds
+
+    def test_async_depth_at_most_rounds_worth_of_chain(self):
+        """Asynchronous runs have no round/depth equality, but depth is
+        still the length of a real message chain: positive and bounded by
+        the number of delivered messages."""
+        result, events = _capture(
+            "broadcast", complete_graph_star(8), NullOracle(), Flooding(), "random", 1
+        )
+        dag = build_causal_dag(events)
+        assert 1 <= dag.causal_depth <= dag.delivered_count
+        assert dag.delivered_count == result.trace.delivered
+
+
+class TestCriticalPath:
+    def _dag(self):
+        _, events = _capture(
+            "broadcast",
+            complete_graph_star(8),
+            LightTreeBroadcastOracle(),
+            SchemeB(),
+            "sync",
+            0,
+        )
+        return build_causal_dag(events)
+
+    def test_path_is_a_root_to_leaf_cause_chain(self):
+        dag = self._dag()
+        path = dag.critical_path()
+        assert len(path) == dag.causal_depth
+        assert dag.nodes[path[0]].cause == ROOT_CAUSE
+        for parent, child in zip(path, path[1:]):
+            assert dag.nodes[child].cause == parent
+        assert all(dag.nodes[seq].delivered for seq in path)
+
+    def test_tie_break_is_smallest_seq_leaf(self):
+        dag = self._dag()
+        depth = dag.causal_depth
+        deepest = [
+            seq
+            for seq, node in dag.nodes.items()
+            if node.delivered and node.depth == depth
+        ]
+        assert dag.critical_path()[-1] == min(deepest)
+
+    def test_empty_dag_has_empty_path(self):
+        dag = build_causal_dag([_run_started()], validate=False)
+        assert dag.critical_path() == []
+        assert dag.causal_depth == 0
+        assert dag.max_fanout() == 0
+
+
+class TestInferenceFallback:
+    """Streams written before the ``cause`` field existed rebuild the
+    exact same DAG from stream order."""
+
+    def test_cause_less_stream_reconstructs_identical_dag(self):
+        _, events = _capture(
+            "broadcast",
+            complete_graph_star(8),
+            LightTreeBroadcastOracle(),
+            SchemeB(),
+            "sync",
+            0,
+        )
+        with_cause = build_causal_dag(events).to_json()
+        stripped = []
+        for event in events:
+            data = dict(event.to_dict())
+            data.pop("cause", None)
+            stripped.append(data)
+        assert build_causal_dag(stripped).to_json() == with_cause
+
+    def test_fallback_under_async_scheduler_too(self):
+        _, events = _capture(
+            "wakeup", path_graph(6), SpanningTreeWakeupOracle(), TreeWakeup(), "fifo", 2
+        )
+        with_cause = build_causal_dag(events).to_json()
+        stripped = [
+            {k: v for k, v in event.to_dict().items() if k != "cause"}
+            for event in events
+        ]
+        assert build_causal_dag(stripped).to_json() == with_cause
+
+
+class TestErrorSurface:
+    def test_unknown_cause(self):
+        stream = [_run_started(), _sent(2, cause=7)]
+        with pytest.raises(CausalTraceError, match="unknown cause"):
+            build_causal_dag(stream, validate=False)
+
+    def test_later_or_equal_cause(self):
+        stream = [
+            _run_started(),
+            _sent(1, cause=ROOT_CAUSE),
+            _delivered(1, step=1),
+            _sent(2, cause=2),
+        ]
+        with pytest.raises(CausalTraceError, match="later/equal cause"):
+            build_causal_dag(stream, validate=False)
+
+    def test_undelivered_cause(self):
+        stream = [
+            _run_started(),
+            _sent(1, cause=ROOT_CAUSE),
+            _sent(2, cause=1),  # 1 was never delivered
+        ]
+        with pytest.raises(CausalTraceError, match="never delivered"):
+            build_causal_dag(stream, validate=False)
+
+    def test_duplicate_seq(self):
+        stream = [_run_started(), _sent(1, cause=ROOT_CAUSE), _sent(1, cause=ROOT_CAUSE)]
+        with pytest.raises(CausalTraceError, match="duplicate"):
+            build_causal_dag(stream, validate=False)
+
+    def test_delivered_without_sent(self):
+        stream = [_run_started(), _delivered(3, step=1)]
+        with pytest.raises(CausalTraceError, match="without a message_sent"):
+            build_causal_dag(stream, validate=False)
+
+    def test_delivered_twice(self):
+        stream = [
+            _run_started(),
+            _sent(1, cause=ROOT_CAUSE),
+            _delivered(1, step=1),
+            _delivered(1, step=2),
+        ]
+        with pytest.raises(CausalTraceError, match="delivered twice"):
+            build_causal_dag(stream, validate=False)
+
+    def test_multi_run_stream_rejected(self):
+        with pytest.raises(CausalTraceError, match="more than one run"):
+            build_causal_dag([_run_started(), _run_started()], validate=False)
+
+    def test_validate_count_mismatch(self):
+        stream = [
+            _run_started(),
+            _sent(1, cause=ROOT_CAUSE),
+            _delivered(1, step=1),
+            _run_ended(messages=5, delivered=1, rounds=1),
+        ]
+        with pytest.raises(CausalTraceError, match="counts 5 sends"):
+            build_causal_dag(stream)
+        # validate=False swallows exactly this class of mismatch
+        dag = build_causal_dag(stream, validate=False)
+        assert dag.message_count == 1
+
+    def test_validate_sync_depth_mismatch(self):
+        stream = [
+            _run_started(scheduler="SynchronousScheduler"),
+            _sent(1, cause=ROOT_CAUSE),
+            _delivered(1, step=1),
+            _run_ended(messages=1, delivered=1, rounds=9),
+        ]
+        with pytest.raises(CausalTraceError, match="causal depth 1 != round count 9"):
+            build_causal_dag(stream)
+
+    def test_async_runs_skip_the_round_check(self):
+        stream = [
+            _run_started(scheduler="RandomScheduler"),
+            _sent(1, cause=ROOT_CAUSE),
+            _delivered(1, step=1),
+            _run_ended(messages=1, delivered=1, rounds=9),
+        ]
+        build_causal_dag(stream)  # no raise
+
+
+class TestMultiRunSplitting:
+    def test_causal_dags_splits_at_run_boundaries(self):
+        _, first = _capture(
+            "broadcast", path_graph(5), NullOracle(), Flooding(), "sync", 0
+        )
+        _, second = _capture(
+            "wakeup", path_graph(6), SpanningTreeWakeupOracle(), TreeWakeup(), "sync", 0
+        )
+        combined = list(first) + list(second)
+        dags = causal_dags(combined)
+        assert len(dags) == 2
+        assert dags[0].to_json() == build_causal_dag(first).to_json()
+        assert dags[1].to_json() == build_causal_dag(second).to_json()
+
+    def test_preamble_events_before_any_run_are_ignored(self):
+        _, events = _capture(
+            "broadcast", path_graph(5), NullOracle(), Flooding(), "sync", 0
+        )
+        preamble = [{"event": "span_started", "name": "oracle"}]
+        dags = causal_dags(preamble + [e.to_dict() for e in events])
+        assert len(dags) == 1
+
+    def test_empty_stream_yields_no_dags(self):
+        assert causal_dags([]) == []
+
+
+class TestExports:
+    def _dag(self):
+        _, events = _capture(
+            "broadcast",
+            complete_graph_star(8),
+            LightTreeBroadcastOracle(),
+            SchemeB(),
+            "sync",
+            0,
+        )
+        return build_causal_dag(events)
+
+    def test_to_dict_shape(self):
+        dag = self._dag()
+        doc = dag.to_dict()
+        assert doc["schema"] == CAUSAL_SCHEMA
+        assert doc["run"]["scheduler"] == "SynchronousScheduler"
+        assert doc["summary"]["causal_depth"] == dag.causal_depth
+        assert len(doc["messages"]) == dag.message_count
+        seqs = [m["seq"] for m in doc["messages"]]
+        assert seqs == sorted(seqs)
+        # per_round keys are stringified for JSON; sends and deliveries
+        # across all rounds account for every message exactly once.
+        assert sum(v["sent"] for v in doc["per_round"].values()) == dag.message_count
+        assert (
+            sum(v["delivered"] for v in doc["per_round"].values())
+            == dag.delivered_count
+        )
+
+    def test_to_json_is_canonical(self):
+        text = self._dag().to_json()
+        doc = json.loads(text)
+        assert json.dumps(doc, sort_keys=True, separators=(",", ":")) == text
+
+    def test_to_dot_marks_critical_path(self):
+        dag = self._dag()
+        dot = dag.to_dot()
+        assert dot.startswith("digraph causal {")
+        assert dot.endswith("}\n")
+        assert "penwidth=2.5" in dot  # critical path highlighted
+        for seq in dag.critical_path():
+            assert f"m{seq} [" in dot
+
+    def test_jsonl_round_trip(self, tmp_path):
+        stream = io.StringIO()
+        obs = Observation(JSONLSink(stream))
+        run_broadcast(
+            complete_graph_star(8),
+            LightTreeBroadcastOracle(),
+            SchemeB(),
+            scheduler=make_scheduler("sync"),
+            obs=obs,
+        )
+        path = tmp_path / "trace.jsonl"
+        path.write_text(stream.getvalue())
+
+        _, live_events = _capture(
+            "broadcast",
+            complete_graph_star(8),
+            LightTreeBroadcastOracle(),
+            SchemeB(),
+            "sync",
+            0,
+        )
+        live = build_causal_dag(live_events)
+        replayed = causal_dag_from_jsonl(str(path))
+        assert replayed.to_json() == live.to_json()
+
+
+class TestCliFormats:
+    def test_causal_json_export(self, tmp_path, capsys):
+        out = tmp_path / "dag.json"
+        assert (
+            main(
+                [
+                    "trace",
+                    "--family",
+                    "kstar",
+                    "--n",
+                    "16",
+                    "--format",
+                    "causal-json",
+                    "--out",
+                    str(out),
+                ]
+            )
+            == 0
+        )
+        captured = capsys.readouterr().out
+        assert "causal DAG:" in captured
+        doc = json.loads(out.read_text())
+        assert doc["schema"] == CAUSAL_SCHEMA
+        assert doc["summary"]["causal_depth"] == doc["summary"]["rounds"]
+
+    def test_causal_dot_export(self, tmp_path):
+        out = tmp_path / "dag.dot"
+        assert (
+            main(
+                [
+                    "trace",
+                    "--family",
+                    "kstar",
+                    "--n",
+                    "16",
+                    "--format",
+                    "causal-dot",
+                    "--out",
+                    str(out),
+                ]
+            )
+            == 0
+        )
+        assert out.read_text().startswith("digraph causal {")
+
+    def test_causal_json_matches_library_build(self, tmp_path):
+        """The CLI artifact is byte-identical to an in-process build of the
+        same run — no CLI-only divergence."""
+        out = tmp_path / "dag.json"
+        assert (
+            main(
+                [
+                    "trace",
+                    "--family",
+                    "kstar",
+                    "--n",
+                    "16",
+                    "--format",
+                    "causal-json",
+                    "--out",
+                    str(out),
+                ]
+            )
+            == 0
+        )
+        _, events = _capture(
+            "broadcast",
+            complete_graph_star(16),
+            LightTreeBroadcastOracle(),
+            SchemeB(),
+            "sync",
+            0,
+        )
+        assert out.read_text() == build_causal_dag(events).to_json() + "\n"

@@ -1,0 +1,431 @@
+"""Tests for the profiling layer: nested span records and self/cumulative
+accounting, the Chrome-trace and collapsed-stack exporters, the wallspan
+byte-identity contract, histogram quantiles in ``repro stats``, progress
+heartbeats, and the ``repro profile`` CLI verb."""
+
+import io
+import json
+
+import pytest
+
+from repro.algorithms import Flooding
+from repro.cli import main
+from repro.network import complete_graph_star
+from repro.obs import (
+    Histogram,
+    JSONLSink,
+    MemorySink,
+    Observation,
+    Profiler,
+    chrome_trace,
+    chrome_trace_json,
+    collapsed_stacks,
+)
+from repro.core import run_broadcast
+from repro.oracles import NullOracle
+from repro.runner import ProgressReporter
+from repro.simulator import make_scheduler
+
+
+class TestProfiler:
+    def test_nesting_paths_and_depths(self):
+        p = Profiler()
+        with p.span("outer"):
+            with p.span("a"):
+                pass
+            with p.span("b"):
+                with p.span("leaf"):
+                    pass
+        # Children close (and record) before their parents.
+        assert [r.path for r in p.records] == [
+            ("outer", "a"),
+            ("outer", "b", "leaf"),
+            ("outer", "b"),
+            ("outer",),
+        ]
+        assert [r.depth for r in p.records] == [1, 2, 1, 0]
+        assert p.records[0].name == "a"
+        assert p.records[-1].path_str == "outer"
+
+    def test_self_time_excludes_children(self):
+        p = Profiler()
+        with p.span("outer"):
+            with p.span("child"):
+                pass
+        outer = next(r for r in p.records if r.name == "outer")
+        child = next(r for r in p.records if r.name == "child")
+        assert outer.self_s == pytest.approx(outer.duration_s - child.duration_s)
+        assert child.self_s == pytest.approx(child.duration_s)
+        assert 0 <= outer.self_s <= outer.duration_s
+
+    def test_total_s_counts_only_top_level(self):
+        p = Profiler()
+        with p.span("first"):
+            with p.span("nested"):
+                pass
+        with p.span("second"):
+            pass
+        top = [r for r in p.records if r.depth == 0]
+        assert p.total_s == pytest.approx(sum(r.duration_s for r in top))
+
+    def test_end_without_begin_raises(self):
+        with pytest.raises(RuntimeError, match="without a matching begin"):
+            Profiler().end()
+
+    def test_unclosed_span_produces_no_record(self):
+        p = Profiler()
+        p.begin("dangling")
+        assert p.records == []
+
+    def test_aggregate_merges_repeated_paths(self):
+        p = Profiler()
+        for _ in range(3):
+            with p.span("cell"):
+                pass
+        stats = p.aggregate()
+        assert list(stats) == ["cell"]
+        stat = stats["cell"]
+        assert stat.count == 3
+        assert stat.cum_s == pytest.approx(
+            sum(r.duration_s for r in p.records)
+        )
+        assert stat.min_s <= stat.max_s
+
+    def test_as_rows_sorted_by_path(self):
+        p = Profiler()
+        with p.span("z"):
+            pass
+        with p.span("a"):
+            with p.span("b"):
+                pass
+        rows = p.as_rows()
+        assert [row["phase"] for row in rows] == ["a", "a/b", "z"]
+        assert all(row["count"] == 1 for row in rows)
+
+
+class TestExporters:
+    def _profiler(self):
+        p = Profiler()
+        with p.span("run"):
+            with p.span("compile"):
+                pass
+            with p.span("engine"):
+                pass
+        return p
+
+    def test_chrome_trace_shape(self):
+        doc = chrome_trace(self._profiler(), process_name="unit")
+        events = doc["traceEvents"]
+        assert events[0] == {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 1,
+            "tid": 1,
+            "args": {"name": "unit"},
+        }
+        spans = events[1:]
+        assert [e["ph"] for e in spans] == ["X"] * 3
+        # Sorted by (ts, -dur): the enclosing span precedes its children.
+        assert [e["name"] for e in spans] == ["run", "compile", "engine"]
+        for e in spans:
+            assert e["dur"] >= 0
+            assert e["args"]["self_us"] >= 0
+        run = spans[0]
+        assert run["args"]["path"] == "run"
+        assert spans[1]["args"]["path"] == "run/compile"
+
+    def test_chrome_trace_json_parses(self):
+        text = chrome_trace_json(self._profiler())
+        doc = json.loads(text)
+        assert doc["displayTimeUnit"] == "ms"
+        assert len(doc["traceEvents"]) == 4
+
+    def test_collapsed_stacks_format(self):
+        text = collapsed_stacks(self._profiler())
+        lines = text.splitlines()
+        assert text.endswith("\n")
+        assert [line.rsplit(" ", 1)[0] for line in lines] == [
+            "run",
+            "run;compile",
+            "run;engine",
+        ]
+        for line in lines:
+            weight = line.rsplit(" ", 1)[1]
+            assert weight == str(int(weight))  # integer microseconds
+
+    def test_collapsed_stacks_empty_profiler(self):
+        assert collapsed_stacks(Profiler()) == ""
+
+    def test_collapsed_weights_sum_to_wall_time(self):
+        """Self-time weighting means widths add to total wall time instead
+        of double-counting nested spans."""
+        p = self._profiler()
+        total_us = sum(
+            int(line.rsplit(" ", 1)[1]) for line in collapsed_stacks(p).splitlines()
+        )
+        assert total_us == pytest.approx(p.total_s * 1e6, abs=3)
+
+
+class TestObservationIntegration:
+    def _run(self, obs):
+        graph = complete_graph_star(8)
+        return run_broadcast(
+            graph,
+            NullOracle(),
+            Flooding(),
+            scheduler=make_scheduler("sync"),
+            obs=obs,
+        )
+
+    def test_profile_only_observation_keeps_hot_paths_dark(self):
+        profiler = Profiler()
+        obs = Observation(profile=profiler)
+        assert obs.enabled is False
+        self._run(obs)
+        # Spans were recorded even though no event ever flowed.
+        assert profiler.records
+        paths = {r.path_str for r in profiler.records}
+        assert any(p.endswith("simulate/engine") for p in paths)
+        assert any(p.endswith("simulate/compile") for p in paths)
+
+    def test_wallspan_never_emits_events(self):
+        sink = MemorySink()
+        obs = Observation(sink, profile=Profiler())
+        with obs.wallspan("single-path-phase"):
+            pass
+        assert sink.events == []
+        # but the span still landed on both wall-clock axes
+        assert [r.name for r in obs.profile.records] == ["single-path-phase"]
+        assert obs.timings.as_rows()
+
+    def test_wallspan_without_profiler_is_a_no_op(self):
+        obs = Observation()
+        with obs.wallspan("nothing"):
+            pass
+        assert obs.timings.as_rows() == []
+
+    def test_event_stream_identical_with_and_without_profiler(self):
+        streams = []
+        for profile in (None, Profiler()):
+            stream = io.StringIO()
+            obs = Observation(JSONLSink(stream), profile=profile)
+            self._run(obs)
+            streams.append(stream.getvalue())
+        assert streams[0] == streams[1]
+
+    def test_span_lands_in_profiler_with_nesting(self):
+        profiler = Profiler()
+        obs = Observation(MemorySink(), profile=profiler)
+        with obs.span("outer"):
+            with obs.span("inner"):
+                pass
+        assert [r.path for r in profiler.records] == [
+            ("outer", "inner"),
+            ("outer",),
+        ]
+        # span (unlike wallspan) does emit the logical markers
+        kinds = [e.kind for e in obs.sink.events]
+        assert kinds == ["span_started", "span_started", "span_ended", "span_ended"]
+
+
+class TestHistogramQuantiles:
+    def test_nearest_rank_exact(self):
+        h = Histogram("t")
+        for value in range(1, 101):  # 1..100, one observation each
+            h.observe(value)
+        assert h.quantile(0.5) == 50
+        assert h.quantile(0.9) == 90
+        assert h.quantile(0.99) == 99
+        assert h.quantile(0) == 1
+        assert h.quantile(1) == 100
+
+    def test_weighted_counts(self):
+        h = Histogram("t")
+        h.observe(1, count=9)
+        h.observe(10, count=1)
+        assert h.quantile(0.5) == 1
+        assert h.quantile(0.9) == 1
+        assert h.quantile(0.91) == 10
+
+    def test_empty_and_out_of_range(self):
+        h = Histogram("t")
+        assert h.quantile(0.5) is None
+        h.observe(1)
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+        with pytest.raises(ValueError):
+            h.quantile(-0.1)
+
+    def test_single_value(self):
+        h = Histogram("t")
+        h.observe(7)
+        for q in (0, 0.5, 0.99, 1):
+            assert h.quantile(q) == 7
+
+    def test_snapshot_carries_percentiles(self):
+        h = Histogram("t")
+        for value in (1, 2, 3, 4):
+            h.observe(value)
+        snap = h.snapshot()
+        assert snap["p50"] == 2
+        assert snap["p90"] == 4
+        assert snap["p99"] == 4
+
+
+class TestStatsCli:
+    def _write_trace(self, path):
+        assert (
+            main(
+                ["trace", "--family", "kstar", "--n", "8", "--out", str(path)]
+            )
+            == 0
+        )
+
+    def test_stats_reports_percentiles(self, tmp_path, capsys):
+        trace = tmp_path / "run.jsonl"
+        self._write_trace(trace)
+        capsys.readouterr()
+        assert main(["stats", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "p50" in out and "p90" in out and "p99" in out
+
+    def test_stats_merges_multiple_files(self, tmp_path, capsys):
+        one = tmp_path / "one.jsonl"
+        two = tmp_path / "two.jsonl"
+        self._write_trace(one)
+        self._write_trace(two)
+        capsys.readouterr()
+        assert main(["stats", str(one)]) == 0
+        single = capsys.readouterr().out
+        assert main(["stats", str(one), str(two)]) == 0
+        merged = capsys.readouterr().out
+
+        assert "Runs (1)" in single
+        assert "Runs (2)" in merged
+        # concatenation order is argument order: both run rows present
+        assert merged.count("SynchronousScheduler") >= 2
+
+    def test_stats_missing_file_exits_2(self, tmp_path, capsys):
+        assert main(["stats", str(tmp_path / "absent.jsonl")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestProfileCli:
+    def test_profile_runs_and_prints_table(self, capsys):
+        assert main(["profile", "E3"]) == 0
+        out = capsys.readouterr().out
+        assert "[E3]" in out
+        assert "Profile (seconds; self = excluding children)" in out
+        assert "E3/cell/" in out
+        assert "total profiled wall time:" in out
+
+    def test_profile_writes_exports(self, tmp_path, capsys):
+        chrome = tmp_path / "e3.chrome.json"
+        flame = tmp_path / "e3.flame.txt"
+        assert (
+            main(["profile", "E3", "--chrome", str(chrome), "--flame", str(flame)])
+            == 0
+        )
+        doc = json.loads(chrome.read_text())
+        names = [e["name"] for e in doc["traceEvents"]]
+        assert "E3" in names
+        lines = flame.read_text().splitlines()
+        assert any(line.startswith("E3 ") for line in lines)
+        assert any(line.startswith("E3;") for line in lines)
+
+    def test_profile_unknown_experiment_exits_2(self, capsys):
+        assert main(["profile", "E42"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_trace_chrome_and_flame_formats(self, tmp_path, capsys):
+        chrome = tmp_path / "trace.chrome.json"
+        assert (
+            main(
+                [
+                    "trace",
+                    "--family",
+                    "kstar",
+                    "--n",
+                    "8",
+                    "--format",
+                    "chrome",
+                    "--out",
+                    str(chrome),
+                ]
+            )
+            == 0
+        )
+        doc = json.loads(chrome.read_text())
+        assert any(e.get("ph") == "X" for e in doc["traceEvents"])
+
+        flame = tmp_path / "trace.flame.txt"
+        assert (
+            main(
+                [
+                    "trace",
+                    "--family",
+                    "kstar",
+                    "--n",
+                    "8",
+                    "--format",
+                    "flame",
+                    "--out",
+                    str(flame),
+                ]
+            )
+            == 0
+        )
+        assert flame.read_text().strip()
+
+
+class TestProgressReporter:
+    def test_line_format_and_counters(self):
+        stream = io.StringIO()
+        r = ProgressReporter(total=4, label="unit", stream=stream, min_interval_s=0)
+        r.cell_done()
+        r.cell_done(resumed=True)
+        r.cell_failed()
+        assert r.settled == 3
+        line = r.line()
+        assert line.startswith("[unit] 2/4 done, 1 failed, 1 resumed | elapsed ")
+        assert "eta" in line
+
+    def test_resumed_cells_do_not_set_the_rate(self):
+        r = ProgressReporter(total=4, stream=io.StringIO(), min_interval_s=0)
+        r.cell_done(resumed=True)
+        assert r.eta_s() is None  # no fresh settlements yet: no honest rate
+        r.cell_done()
+        assert r.eta_s() is not None
+
+    def test_eta_none_when_finished(self):
+        r = ProgressReporter(total=1, stream=io.StringIO(), min_interval_s=0)
+        r.cell_done()
+        assert r.eta_s() is None
+
+    def test_throttling_suppresses_intermediate_lines(self):
+        stream = io.StringIO()
+        r = ProgressReporter(total=10, stream=stream, min_interval_s=3600)
+        for _ in range(5):
+            r.cell_done()
+        # first settlement prints, the throttled middle ones don't
+        assert len(stream.getvalue().splitlines()) == 1
+        r.finish()
+        lines = stream.getvalue().splitlines()
+        assert len(lines) == 2
+        assert lines[-1].startswith("[run] 5/10 done")
+
+    def test_final_line_always_prints_but_never_twice(self):
+        stream = io.StringIO()
+        r = ProgressReporter(total=2, stream=stream, min_interval_s=3600)
+        r.cell_done()
+        r.cell_done()  # last settlement bypasses the throttle
+        r.finish()  # state unchanged: must not duplicate the line
+        lines = stream.getvalue().splitlines()
+        assert len(lines) == 2
+        assert lines[-1].startswith("[run] 2/2 done")
+
+    def test_experiment_progress_flag(self, capsys):
+        assert main(["experiment", "E3", "--progress"]) == 0
+        captured = capsys.readouterr()
+        assert "[E3]" in captured.out
+        assert "[experiments] 1/1 done" in captured.err
