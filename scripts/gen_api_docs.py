@@ -15,6 +15,7 @@ MODULES = [
     "repro.encoding",
     "repro.simulator",
     "repro.fastpath",
+    "repro.vectorized",
     "repro.core",
     "repro.oracles",
     "repro.algorithms",

@@ -80,6 +80,7 @@ __all__ = [
     "experiment_e6_separation",
     "experiment_e7_robustness",
     "experiment_e8_counting",
+    "experiment_e15_mega_separation",
 ]
 
 DEFAULT_SIZES = (16, 32, 64, 128, 256)
@@ -641,6 +642,88 @@ def experiment_e8_counting(
     )
 
 
+# ----------------------------------------------------------------------
+# E15 — Theorem 2.2 at mega scale (implicit gadgets, vectorized engine)
+# ----------------------------------------------------------------------
+def experiment_e15_mega_separation(
+    n_values: Sequence[int] = (2000, 5000, 10000, 20000, 50000),
+    seeds: Sequence[int] = (0, 1, 2),
+) -> ExperimentResult:
+    """The E2 separation curves two orders of magnitude past explicit graphs.
+
+    E2 measures ``G_{n,S}`` by materializing it, which caps ``n`` near
+    ``10^3`` (the gadget has ``Theta(n^2)`` edges).  Here each point is an
+    *implicit* gadget run through the vectorized engine
+    (:func:`repro.vectorized.mega_gadget_batch`): the oracle's BFS tree is
+    derived analytically from ``(n, S)`` and the wakeup takes ``N - 1``
+    messages through the batch core, so ``n = 10^5`` is a second of work.
+    The growth fits then separate the two rates the theorem opposes:
+    oracle bits ``Theta(N log N)`` against messages ``Theta(N)``, with
+    zero-advice flooding ``Theta(N^2)`` computed analytically alongside.
+    """
+    from ..vectorized import mega_gadget_batch
+
+    rows: List[Dict[str, Any]] = []
+    nodes: List[int] = []
+    mean_bits: List[float] = []
+    mean_msgs: List[float] = []
+    flood: List[float] = []
+    for n in n_values:
+        batch = mega_gadget_batch(n, list(seeds))
+        for row in batch:
+            rows.append(
+                {
+                    "part": "mega-upper",
+                    "detail": f"G_(n={n},S) seed={row.seed}: N={row.gadget_nodes}",
+                    "value": row.oracle_bits,
+                    "reference": f"messages={row.messages}=N-1, rounds={row.rounds}",
+                    "ok": row.success and row.messages == row.gadget_nodes - 1,
+                }
+            )
+        nodes.append(batch[0].gadget_nodes)
+        mean_bits.append(sum(r.oracle_bits for r in batch) / len(batch))
+        mean_msgs.append(sum(r.messages for r in batch) / len(batch))
+        flood.append(float(batch[0].flooding_messages))
+        rows.append(
+            {
+                "part": "zero-advice",
+                "detail": f"G_(n={n},S): flooding (analytic)",
+                "value": batch[0].flooding_messages,
+                "reference": f"2m - N + 1; m={batch[0].gadget_edges}",
+                "ok": True,
+            }
+        )
+    if len(n_values) >= 2:
+        for series, label, models, expect in (
+            (mean_bits, "oracle bits", ("n", "n log n"), "n log n"),
+            (mean_msgs, "messages", ("n", "n log n"), "n"),
+            (flood, "flooding messages", ("n", "n^2"), "n^2"),
+        ):
+            fits = classify_growth(nodes, series, models=models)
+            rows.append(
+                {
+                    "part": "growth",
+                    "detail": f"{label} vs N",
+                    "value": str(fits[0]),
+                    "reference": f"expected Theta({expect})",
+                    "ok": fits[0].model == expect,
+                }
+            )
+    findings = [
+        f"implicit gadgets carry the separation to n={max(n_values)} "
+        "(never materializing the Theta(n^2) edges)",
+        "oracle bits fit Theta(N log N) while wakeup messages stay exactly N-1",
+        "zero-advice flooding is Theta(N^2) on the same graphs — the Theorem 2.2 gap, at scale",
+    ]
+    return ExperimentResult(
+        "E15",
+        "Theorem 2.2 at mega scale — implicit gadgets through the vectorized engine",
+        rows,
+        findings,
+        columns=("part", "detail", "value", "reference", "ok"),
+    )
+
+
 def _extension_registry() -> Dict[str, Callable[..., "ExperimentResult"]]:
     # imported lazily to avoid a circular import at module load
     from .extensions import (
@@ -672,12 +755,13 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "E6": experiment_e6_separation,
     "E7": experiment_e7_robustness,
     "E8": experiment_e8_counting,
+    "E15": experiment_e15_mega_separation,
 }
 EXPERIMENTS.update(_extension_registry())
 
 
 def run_experiment(experiment_id: str, cache=None, obs=None, **kwargs) -> ExperimentResult:
-    """Run one experiment from the registry by id (``E1`` .. ``E14``).
+    """Run one experiment from the registry by id (``E1`` .. ``E15``).
 
     ``cache`` — an optional :class:`repro.parallel.ConstructionCache` —
     is forwarded to experiments that declare a ``cache`` parameter (the

@@ -9,7 +9,7 @@ Commands
     ``--cache`` persists built graphs and oracle advice under
     ``$REPRO_CACHE_DIR`` (default ``~/.cache/repro``).
 ``all``
-    Run every experiment (E1-E14) at default sizes; accepts the same
+    Run every experiment (E1-E15) at default sizes; accepts the same
     ``--workers`` / ``--cache`` flags.
 
     Both commands also take the fault-tolerance flags ``--timeout S``,
@@ -45,7 +45,15 @@ Commands
     ``--format chrome|flame`` exports a Chrome/Perfetto trace or
     collapsed-stack flamegraph text instead; ``--format
     causal-json|causal-dot`` dumps the run's happened-before DAG
-    (message lineage, causal depth, critical path).
+    (message lineage, causal depth, critical path).  ``--engine
+    legacy|fastpath|vectorized`` pins the execution engine (the streams
+    are byte-identical across engines; see ``docs/PERFORMANCE.md``).
+``mega [--sizes 2000,10000,...] [--batch-seeds 0,1,2]``
+    Theorem 2.2 at mega scale: tree wakeup on *implicit* ``G_{n,S}``
+    gadgets through the vectorized batch engine — feasible to
+    ``n = 10^6`` because the ``Theta(n^2)``-edge graph is never
+    materialized.  Prints per-(n, seed) rows and the oracle-bits /
+    messages / flooding growth fits.
 ``stats run.jsonl [more.jsonl ...]``
     Summarize saved traces or sweeps: per-run table, per-round delivery
     histogram, replayed metrics registry (with p50/p90/p99 columns),
@@ -341,6 +349,7 @@ def _cmd_trace(
     audit: bool,
     trace_level: str = "full",
     out_format: str = "jsonl",
+    engine: str = "auto",
 ) -> int:
     from .algorithms import ALGORITHM_REGISTRY
     from .analysis.tables import format_table
@@ -405,6 +414,7 @@ def _cmd_trace(
             audit=audit,
             obs=obs,
             trace_level=trace_level,
+            engine=engine,
         )
         events = getattr(obs.sink, "count", None)
     s = result.trace.summary()
@@ -447,6 +457,55 @@ def _cmd_trace(
             handle.write(text)
         print(f"wrote causal {'JSON' if out_format == 'causal-json' else 'DOT'} to {out}")
     return 0 if result.success else 1
+
+
+def _cmd_mega(sizes: Optional[str], batch_seeds: Optional[str], count: Optional[int]) -> int:
+    from .analysis.fits import classify_growth
+    from .analysis.tables import format_table
+    from .vectorized import mega_gadget_batch
+
+    n_values = (
+        [int(x) for x in sizes.split(",")] if sizes else [2000, 10000, 50000, 100000]
+    )
+    seeds = [int(x) for x in batch_seeds.split(",")] if batch_seeds else [0]
+    table: List[dict] = []
+    nodes: List[int] = []
+    mean_bits: List[float] = []
+    mean_msgs: List[float] = []
+    flood: List[float] = []
+    ok = True
+    for n in n_values:
+        batch = mega_gadget_batch(n, seeds, counts=count)
+        for row in batch:
+            ok = ok and row.success
+            table.append(
+                {
+                    "n": row.n,
+                    "seed": row.seed,
+                    "N": row.gadget_nodes,
+                    "oracle_bits": row.oracle_bits,
+                    "bits/(N log N)": f"{row.bits_per_node_log:.3f}",
+                    "messages": row.messages,
+                    "rounds": row.rounds,
+                    "flooding (analytic)": row.flooding_messages,
+                    "ok": "yes" if row.success else "NO",
+                }
+            )
+        nodes.append(batch[0].gadget_nodes)
+        mean_bits.append(sum(r.oracle_bits for r in batch) / len(batch))
+        mean_msgs.append(sum(r.messages for r in batch) / len(batch))
+        flood.append(float(batch[0].flooding_messages))
+    print(format_table(table, title="Tree wakeup on implicit G_(n,S) (vectorized batch)"))
+    if len(n_values) >= 2:
+        print()
+        for series, label, models in (
+            (mean_bits, "oracle bits", ("n", "n log n")),
+            (mean_msgs, "messages", ("n", "n log n")),
+            (flood, "flooding", ("n", "n^2")),
+        ):
+            fits = classify_growth(nodes, series, models=models)
+            print(f"{label:>12}: best fit {fits[0]}")
+    return 0 if ok else 1
 
 
 def _cmd_stats(paths: List[str]) -> int:
@@ -540,7 +599,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_exp = sub.add_parser(
         "experiment",
         aliases=["exp"],
-        help="run one or more experiments (E1-E14)",
+        help="run one or more experiments (E1-E15)",
     )
     p_exp.add_argument("ids", nargs="+", metavar="ID")
 
@@ -685,6 +744,32 @@ def main(argv: Optional[List[str]] = None) -> int:
         "happened-before DAG as canonical JSON / Graphviz DOT",
     )
 
+    p_trace.add_argument(
+        "--engine",
+        choices=("auto", "legacy", "fastpath", "vectorized"),
+        default="auto",
+        help="pin the execution engine (byte-identical streams either way); "
+        "default 'auto' honors REPRO_FASTPATH / REPRO_VECTORIZED",
+    )
+
+    p_mega = sub.add_parser(
+        "mega",
+        help="Theorem 2.2 at mega scale: implicit G_(n,S) gadgets through "
+        "the vectorized batch engine",
+    )
+    p_mega.add_argument(
+        "--sizes", default=None, help="comma-separated n values (default 2000,10000,50000,100000)"
+    )
+    p_mega.add_argument(
+        "--batch-seeds",
+        default=None,
+        metavar="S1,S2,...",
+        help="seeds batched through one vectorized pass per n (default: 0)",
+    )
+    p_mega.add_argument(
+        "--count", type=int, default=None, help="|S|, the number of subdivided edges (default: n)"
+    )
+
     p_stats = sub.add_parser(
         "stats", help="summarize saved JSONL traces (tables, metrics, growth fits)"
     )
@@ -790,8 +875,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_trace(
             args.task, args.family, args.n, args.oracle, args.algorithm,
             args.scheduler, args.seed, args.out, args.audit, args.trace_level,
-            args.out_format,
+            args.out_format, args.engine,
         )
+    if args.command == "mega":
+        return _cmd_mega(args.sizes, args.batch_seeds, args.count)
     if args.command == "stats":
         return _cmd_stats(args.paths)
     if args.command == "profile":

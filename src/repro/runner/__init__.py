@@ -26,6 +26,7 @@ from .core import (
     canonical_json,
     execute_units,
     measurement_fingerprint,
+    resilient_gadget_batches,
     resilient_run_experiments,
     resilient_sweep_families,
 )
@@ -60,6 +61,7 @@ __all__ = [
     "execute_units",
     "load_journal",
     "measurement_fingerprint",
+    "resilient_gadget_batches",
     "resilient_run_experiments",
     "resilient_sweep_families",
 ]

@@ -85,6 +85,7 @@ __all__ = [
     "canonical_json",
     "execute_units",
     "resilient_sweep_families",
+    "resilient_gadget_batches",
     "resilient_run_experiments",
 ]
 
@@ -622,6 +623,94 @@ def resilient_sweep_families(
                         outcome.detail or "",
                         outcome.attempts,
                     )
+                )
+    if run_dir is not None:
+        with open(os.path.join(run_dir, ROWS_NAME), "w", encoding="utf-8") as handle:
+            json.dump(rows, handle, indent=2)
+            handle.write("\n")
+    return RunReport(stats=stats, rows=rows, run_dir=run_dir)
+
+
+# ----------------------------------------------------------------------
+# Front-end: batched gadget measurements
+# ----------------------------------------------------------------------
+def resilient_gadget_batches(
+    n_values: Sequence[int],
+    seeds: Sequence[int],
+    counts: Optional[int] = None,
+    workers: Optional[int] = None,
+    policy: Optional[RetryPolicy] = None,
+    run_dir: Optional[str] = None,
+    runner_obs: Optional[Observation] = None,
+    label: str = "mega-gadget",
+    progress: Optional[ProgressReporter] = None,
+) -> RunReport:
+    """Mega-scale ``G_{n,S}`` separation points, one *batch* unit per ``n``.
+
+    Where :func:`resilient_sweep_families` dispatches one unit per
+    (cell, seed), this front-end dispatches one unit per ``n`` covering
+    *all* seeds — :func:`repro.parallel.grids.gadget_seed_batch` pushes
+    the seeds' replicas through one vectorized pass, so a unit is the
+    natural retry/journal granule.  Rows come back flattened (one per
+    (n, seed)); a failed batch degrades to one structured failed row per
+    seed it covered, so downstream merging stays positional.
+    """
+    from ..parallel.grids import gadget_seed_batch
+
+    workers = resolve_workers(workers)
+    policy = policy or RetryPolicy()
+    units = [
+        WorkUnit(
+            experiment=label,
+            cell=f"gnS-{n}",
+            seed="batch",
+            fn=gadget_seed_batch,
+            args=(n, tuple(seeds), counts),
+            meta=(("n", n), ("seeds", tuple(seeds))),
+        )
+        for n in n_values
+    ]
+
+    journal, journaled, corrupt = _prepare_run_dir(run_dir)
+    own_stream = None
+    if runner_obs is None and run_dir is not None:
+        runner_obs, own_stream = _open_runner_obs(run_dir)
+    try:
+        outcomes, stats = execute_units(
+            units,
+            workers=workers,
+            policy=policy,
+            journal=journal,
+            journaled=journaled,
+            runner_obs=runner_obs,
+            progress=progress,
+        )
+    finally:
+        if journal is not None:
+            journal.close()
+        if own_stream is not None:
+            runner_obs.close()
+            own_stream.close()
+    stats.corrupt_journal_lines = corrupt
+
+    rows: List[Dict[str, Any]] = []
+    for unit in units:
+        outcome = outcomes[unit.key]
+        n = unit.meta_dict["n"]
+        if outcome.status == "done":
+            for row in outcome.row["rows"]:
+                rows.append(dict(row, n=n, failed=False))
+        else:
+            for seed in unit.meta_dict["seeds"]:
+                rows.append(
+                    {
+                        "n": n,
+                        "seed": seed,
+                        "failed": True,
+                        "error": outcome.error or "Error",
+                        "detail": outcome.detail or "",
+                        "attempts": outcome.attempts,
+                    }
                 )
     if run_dir is not None:
         with open(os.path.join(run_dir, ROWS_NAME), "w", encoding="utf-8") as handle:

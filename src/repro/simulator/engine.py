@@ -19,13 +19,29 @@ complexity that all four theorems are about.
 
 Execution paths
 ---------------
-:meth:`Simulation.run` dispatches to the compiled fast path
-(:mod:`repro.fastpath.engine`), which executes over the graph's
-flat-array :class:`~repro.fastpath.topology.CompiledTopology`.  Setting
-``REPRO_FASTPATH=0`` in the environment selects the legacy dict-walking
-loop (:meth:`Simulation._run_legacy`) instead.  The two paths are
-byte-identical at ``trace_level="full"`` — same trace, same obs events —
-a contract enforced by ``tests/test_fastpath.py``.
+:meth:`Simulation.run` dispatches between three engines:
+
+* ``fastpath`` (default) — the compiled loop of
+  :mod:`repro.fastpath.engine`, executing over the graph's flat-array
+  :class:`~repro.fastpath.topology.CompiledTopology`;
+* ``legacy`` — the dict-walking reference loop
+  (:meth:`Simulation._run_legacy`), kept runnable forever as the
+  executable specification;
+* ``vectorized`` — the struct-of-arrays round engine of
+  :mod:`repro.vectorized`, which drains whole synchronous rounds as
+  numpy frontier operations (and falls back to the fast path for
+  configurations it cannot compile).
+
+Selection: the ``engine=`` constructor argument wins when explicit;
+``engine="auto"`` honors the environment escape hatches —
+``REPRO_VECTORIZED=1`` selects the vectorized engine,
+``REPRO_FASTPATH=0`` the legacy loop, and otherwise the fast path runs.
+All engines are byte-identical at ``trace_level="full"`` — same trace,
+same obs events — and counter-exact at ``trace_level="counters"``, a
+contract enforced by ``tests/test_fastpath.py`` and
+``tests/test_differential.py``.  The trace/event bookkeeping shared by
+the legacy loop and the vectorized interpreter lives in
+:class:`repro.simulator.emission.TraceEmitter`.
 """
 
 from __future__ import annotations
@@ -35,21 +51,17 @@ from typing import Dict, Hashable, Mapping, Optional
 
 from ..encoding import BitString
 from ..network.graph import PortLabeledGraph
-from ..obs.events import (
-    LimitHit,
-    MessageDelivered,
-    MessageSent,
-    RoundStarted,
-    RunEnded,
-    RunStarted,
-)
 from ..obs.observe import Observation, resolve_obs
+from .emission import TraceEmitter
 from .messages import InFlightMessage
 from .node import NodeContext, NodeRuntime, Process, WakeupViolation
 from .schedulers import Scheduler, SynchronousScheduler
-from .trace import TRACE_LEVELS, DeliveryRecord, ExecutionTrace
+from .trace import TRACE_LEVELS, ExecutionTrace
 
-__all__ = ["Simulation"]
+__all__ = ["Simulation", "ENGINES"]
+
+#: Engine names accepted by ``Simulation(engine=...)``.
+ENGINES = ("auto", "legacy", "fastpath", "vectorized")
 
 
 class Simulation:
@@ -96,6 +108,11 @@ class Simulation:
         per-round histogram) — all that the lower-bound drivers and sweep
         cells actually read — and skips the per-delivery allocations.  The
         obs event stream is identical at both levels.
+    engine:
+        ``"auto"`` (default) honors the ``REPRO_VECTORIZED`` /
+        ``REPRO_FASTPATH`` environment switches; ``"legacy"``,
+        ``"fastpath"`` and ``"vectorized"`` pin the execution path
+        regardless of the environment.
     """
 
     def __init__(
@@ -112,6 +129,7 @@ class Simulation:
         no_source: bool = False,
         obs: Optional[Observation] = None,
         trace_level: str = "full",
+        engine: str = "auto",
     ) -> None:
         if not graph.frozen:
             graph = graph.copy().freeze()
@@ -119,6 +137,11 @@ class Simulation:
             raise ValueError(
                 f"unknown trace_level {trace_level!r}; expected one of {TRACE_LEVELS}"
             )
+        if engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {engine!r}; expected one of {ENGINES}"
+            )
+        self._engine = engine
         self._graph = graph
         self._scheduler = scheduler if scheduler is not None else SynchronousScheduler()
         self._obs = resolve_obs(obs)
@@ -150,20 +173,36 @@ class Simulation:
             )
         self._seq = 0
         self._trace = ExecutionTrace(trace_level=trace_level)
+        self._emitter: Optional[TraceEmitter] = None
         self._ran = False
 
     # ------------------------------------------------------------------
     def run(self) -> ExecutionTrace:
         """Execute to quiescence (or a limit) and return the trace.
 
-        Dispatches to the compiled fast path unless ``REPRO_FASTPATH=0``
-        is set, in which case the legacy loop runs.  Both produce
-        byte-identical traces and events at ``trace_level="full"``.
+        ``engine="auto"`` resolves via the environment —
+        ``REPRO_VECTORIZED=1`` selects the vectorized round engine,
+        ``REPRO_FASTPATH=0`` the legacy loop, anything else the compiled
+        fast path.  An explicit ``engine=`` pins the path.  Every engine
+        produces byte-identical traces and events at
+        ``trace_level="full"``.
         """
         if self._ran:
             raise RuntimeError("a Simulation object runs once; build a new one")
         self._ran = True
-        if os.environ.get("REPRO_FASTPATH", "1") != "0":
+        engine = self._engine
+        if engine == "auto":
+            if os.environ.get("REPRO_VECTORIZED", "0") == "1":
+                engine = "vectorized"
+            elif os.environ.get("REPRO_FASTPATH", "1") != "0":
+                engine = "fastpath"
+            else:
+                engine = "legacy"
+        if engine == "vectorized":
+            from ..vectorized.engine import run_vectorized
+
+            return run_vectorized(self)
+        if engine == "fastpath":
             from ..fastpath.engine import run_fastpath
 
             return run_fastpath(self)
@@ -176,22 +215,9 @@ class Simulation:
         specification the fast path is tested against.
         """
         trace = self._trace
-        obs = self._obs
-        full = self._trace_level == "full"
-        if obs.enabled:
-            obs.emit(
-                RunStarted(
-                    task="wakeup" if self._wakeup else "broadcast",
-                    nodes=self._graph.num_nodes,
-                    edges=self._graph.num_edges,
-                    source=self._graph.source,
-                    scheduler=type(self._scheduler).__name__,
-                    anonymous=self._anonymous,
-                    wakeup=self._wakeup,
-                )
-            )
-        if not self._no_source:
-            trace.informed_at[self._graph.source] = 0
+        emitter = self._emitter = TraceEmitter(self)
+        full = emitter.full
+        emitter.run_started(self)
 
         # Init order is the graph's deterministic node order (insertion
         # order), the same order the runtimes dict was built in.  A
@@ -212,32 +238,15 @@ class Simulation:
             if limit_hit:
                 break
             if self._max_steps is not None and step >= self._max_steps:
-                limit_hit = self._limit("step limit reached")
+                limit_hit = emitter.limit("step limit reached")
                 break
             msg = self._scheduler.pop()
             step += 1
             receiver = self._runtimes[msg.receiver]
-            if full:
-                trace.deliveries.append(
-                    DeliveryRecord(
-                        step=step,
-                        payload=msg.payload,
-                        sender=msg.sender,
-                        receiver=msg.receiver,
-                        send_port=msg.send_port,
-                        arrival_port=msg.arrival_port,
-                        sender_informed=msg.sender_informed,
-                        round=msg.deliver_at,
-                    )
-                )
-            else:
-                trace.round_counts[msg.deliver_at] = (
-                    trace.round_counts.get(msg.deliver_at, 0) + 1
-                )
-            if obs.enabled and msg.deliver_at > trace.rounds:
-                obs.emit(RoundStarted(round=msg.deliver_at))
-            trace.rounds = max(trace.rounds, msg.deliver_at)
-            trace.delivered += 1
+            emitter.delivery_started(
+                step, msg.payload, msg.sender, msg.receiver,
+                msg.send_port, msg.arrival_port, msg.sender_informed, msg.deliver_at,
+            )
             receiver.received_count += 1
             if full:
                 receiver.history.append((msg.payload, msg.arrival_port))
@@ -245,20 +254,11 @@ class Simulation:
             if newly_informed:
                 receiver.informed = True
                 receiver.informed_at = step
-                trace.informed_at[msg.receiver] = step
-            if obs.enabled:
-                obs.emit(
-                    MessageDelivered(
-                        step=step,
-                        seq=msg.seq,
-                        sender=msg.sender,
-                        receiver=msg.receiver,
-                        arrival_port=msg.arrival_port,
-                        payload=msg.payload,
-                        round=msg.deliver_at,
-                        newly_informed=newly_informed,
-                    )
-                )
+                emitter.informed(msg.receiver, step)
+            emitter.delivered(
+                step, msg.seq, msg.sender, msg.receiver,
+                msg.arrival_port, msg.payload, msg.deliver_at, newly_informed,
+            )
             receiver.process.on_receive(receiver.context, msg.payload, msg.arrival_port)
             limit_hit = self._enqueue(
                 receiver, receiver.context.drain(), deliver_at=msg.deliver_at + 1,
@@ -273,19 +273,7 @@ class Simulation:
         for v, runtime in self._runtimes.items():
             if runtime.context.has_output:
                 trace.outputs[v] = runtime.context.output_value
-        if obs.enabled:
-            obs.emit(
-                RunEnded(
-                    messages=trace.messages_sent,
-                    delivered=trace.delivered,
-                    rounds=trace.rounds,
-                    informed=len(trace.informed_at),
-                    nodes=self._graph.num_nodes,
-                    undelivered=len(trace.undelivered),
-                    completed=trace.completed,
-                    limit_hit=trace.message_limit_hit,
-                )
-            )
+        emitter.run_ended(self._graph.num_nodes)
         return trace
 
     # ------------------------------------------------------------------
@@ -299,12 +287,13 @@ class Simulation:
         causal tracer consumes.
         """
         graph = self._graph
+        emitter = self._emitter
         for request in sends:
             if (
                 self._max_messages is not None
                 and self._trace.messages_sent >= self._max_messages
             ):
-                return self._limit("message limit reached")
+                return emitter.limit("message limit reached")
             neighbor = graph.neighbor_via(runtime.label, request.port)
             self._seq += 1
             msg = InFlightMessage(
@@ -318,35 +307,12 @@ class Simulation:
                 deliver_at=deliver_at,
             )
             runtime.sent_count += 1
-            self._trace.messages_sent += 1
             self._scheduler.push(msg)
-            if self._obs.enabled:
-                self._obs.emit(
-                    MessageSent(
-                        seq=msg.seq,
-                        sender=msg.sender,
-                        receiver=msg.receiver,
-                        send_port=msg.send_port,
-                        arrival_port=msg.arrival_port,
-                        payload=msg.payload,
-                        sender_informed=msg.sender_informed,
-                        round=deliver_at,
-                        cause=cause,
-                    )
-                )
-        return False
-
-    def _limit(self, reason: str) -> bool:
-        self._trace.message_limit_hit = True
-        if self._obs.enabled:
-            self._obs.emit(
-                LimitHit(
-                    reason=reason,
-                    messages_sent=self._trace.messages_sent,
-                    step=self._trace.delivered,
-                )
+            emitter.sent(
+                msg.seq, msg.sender, msg.receiver, msg.send_port, msg.arrival_port,
+                msg.payload, msg.sender_informed, deliver_at, cause,
             )
-        return True
+        return False
 
     # ------------------------------------------------------------------
     @property

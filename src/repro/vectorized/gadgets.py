@@ -1,0 +1,277 @@
+"""Implicit ``G_{n,S}`` programs: the Theorem 2.2 gadget at mega scale.
+
+``G_{n,S}`` subdivides ``n`` edges of the complete graph ``K*_n`` — so it
+has ``Θ(n²)`` edges, and at ``n = 10^5`` its CSR tables would need ~10¹⁰
+slots.  No engine that *materializes* the graph can run it.  But the
+tree-wakeup upper bound never touches most of that topology: the
+spanning-tree oracle reads the graph only to run a BFS, and the scheme
+then walks exactly the ``N - 1`` tree edges.  This module derives that
+BFS tree *analytically* from ``(n, S)`` and emits a ``"ports"``-kind
+:class:`~repro.vectorized.core.ReplicaProgram` — identical, node for
+node and port for port, to what the explicit pipeline
+(:func:`~repro.network.constructions.subdivision_family_graph` →
+:class:`~repro.oracles.SpanningTreeWakeupOracle` →
+:class:`~repro.algorithms.TreeWakeup`) produces, a correspondence pinned
+by ``tests/test_engine_properties.py`` at explicit-feasible sizes.
+
+The analytic shortcut rests on the gadget's port structure: at an
+original node ``u`` of ``K*_n``, port ``p`` leads toward label
+``((u + p) mod n) + 1`` — cyclic order starting at ``u + 1`` — whether or
+not that slot was subdivided, and a hidden node ``w_i`` on edge
+``{lo, hi}`` has port 0 to ``lo``, port 1 to ``hi``.  BFS from the source
+(node 1) therefore discovers, per expanded original node, only *S*-edge
+candidates plus whatever original nodes are still undiscovered — after
+node 1's single ``O(n)`` sweep, that residue is just the S-neighbors of
+the source, so the whole tree costs ``O(n + |S| log |S|)`` for random
+``S`` instead of ``Θ(n²)``.
+
+:func:`sample_edge_tuple_sparse` replaces
+:func:`~repro.network.constructions.sample_edge_tuple` above explicit
+scale: the latter enumerates all ``Θ(n²)`` edges to sample ``n`` of them.
+Rejection sampling draws the same uniform distribution over ordered
+tuples of distinct edges but *not* the same sequence for a given seed —
+cross-validation against the explicit path must share the edge tuple, not
+the seed.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..encoding import children_ports_code_length
+from ..network.builders import resolve_rng
+from ..network.graph import Edge, GraphError
+from .core import ReplicaProgram, run_batch
+
+__all__ = [
+    "sample_edge_tuple_sparse",
+    "gadget_spanning_program",
+    "MegaGadgetRow",
+    "mega_gadget_wakeup",
+]
+
+_I64 = np.int64
+
+
+def sample_edge_tuple_sparse(
+    n: int,
+    count: int,
+    rng: Optional[random.Random] = None,
+    seed: Optional[int] = None,
+) -> List[Edge]:
+    """``count`` distinct edges of ``K*_n``, uniform over ordered tuples.
+
+    Same distribution as
+    :func:`~repro.network.constructions.sample_edge_tuple`, but by
+    rejection instead of enumerating all ``binom(n, 2)`` edges —
+    ``O(count)`` expected when ``count = O(n)``.  Different draw sequence
+    for a given seed than the dense sampler.
+    """
+    m = n * (n - 1) // 2
+    if count > m:
+        raise GraphError(f"cannot pick {count} distinct edges from K*_{n}")
+    rng = resolve_rng(rng, seed)
+    seen = set()
+    out: List[Edge] = []
+    while len(out) < count:
+        u = rng.randrange(1, n + 1)
+        v = rng.randrange(1, n + 1)
+        if u == v:
+            continue
+        edge = (u, v) if u < v else (v, u)
+        if edge in seen:
+            continue
+        seen.add(edge)
+        out.append(edge)
+    return out
+
+
+def _gadget_tree(n: int, edge_tuple) -> Dict[int, Tuple[int, int, int]]:
+    """BFS spanning tree of ``G_{n,S}``: child -> (parent, port@parent, port@child).
+
+    Reproduces :func:`~repro.oracles.build_spanning_tree` (``kind="bfs"``)
+    on the never-materialized gadget: level-synchronous, frontier in
+    discovery order, each expansion's neighbors in port order.  Original
+    labels are ``1..n``; the hidden node on the ``i``-th edge of ``S`` is
+    ``n + i``.
+    """
+    skey: Dict[Tuple[int, int], int] = {}
+    w_edge: Dict[int, Tuple[int, int]] = {}
+    s_adj: Dict[int, List[Tuple[int, int]]] = {}
+    for i, (u, v) in enumerate(edge_tuple, start=1):
+        lo, hi = (u, v) if u < v else (v, u)
+        if (lo, hi) in skey:
+            raise GraphError("edges to subdivide must be distinct")
+        w = n + i
+        skey[(lo, hi)] = w
+        w_edge[w] = (lo, hi)
+        s_adj.setdefault(lo, []).append((hi, w))
+        s_adj.setdefault(hi, []).append((lo, w))
+
+    undisc_orig = set(range(2, n + 1))
+    undisc_w = set(w_edge)
+    links: Dict[int, Tuple[int, int, int]] = {}
+    frontier = [1]
+    while frontier:
+        nxt: List[int] = []
+        for u in frontier:
+            if u <= n:
+                # An original node: candidates are the undiscovered
+                # originals reachable through intact edges, plus the
+                # undiscovered hidden nodes on its own S-edges — each at
+                # the cyclic port the K*_n slot would have used.
+                cand: List[Tuple[int, int, int]] = []
+                for j in sorted(undisc_orig):
+                    edge = (u, j) if u < j else (j, u)
+                    if edge in skey:
+                        continue
+                    cand.append(((j - u - 1) % n, j, (u - j - 1) % n))
+                for v, w in s_adj.get(u, ()):
+                    if w in undisc_w:
+                        cand.append(((v - u - 1) % n, w, 0 if u < v else 1))
+                cand.sort()
+                for pport, x, cport in cand:
+                    if x <= n:
+                        undisc_orig.discard(x)
+                    else:
+                        undisc_w.discard(x)
+                    links[x] = (u, pport, cport)
+                    nxt.append(x)
+            else:
+                lo, hi = w_edge[u]
+                for pport, x, other in ((0, lo, hi), (1, hi, lo)):
+                    if x in undisc_orig:
+                        undisc_orig.discard(x)
+                        links[x] = (u, pport, (other - x - 1) % n)
+                        nxt.append(x)
+        frontier = nxt
+        # Rebuild to a right-sized table: a set emptied by discard keeps
+        # its old capacity, and iterating it per expansion above would
+        # scan every stale slot — turning the O(n) sweep quadratic.
+        undisc_orig = set(undisc_orig)
+    if undisc_orig or undisc_w:
+        raise GraphError("G_{n,S} came out disconnected; bad edge tuple")
+    return links
+
+
+def gadget_spanning_program(
+    n: int,
+    edge_tuple,
+    max_messages: Optional[int] = None,
+    max_steps: Optional[int] = None,
+) -> Tuple[ReplicaProgram, int]:
+    """The tree-wakeup run on ``G_{n,S}`` as a ``"ports"`` replica.
+
+    Returns ``(program, oracle_bits)`` where ``oracle_bits`` is exactly
+    what ``SpanningTreeWakeupOracle("bfs").predicted_size`` would report
+    on the explicit graph — the same per-node
+    :func:`~repro.encoding.children_ports_code_length` sum over the same
+    BFS tree.
+    """
+    count = len(edge_tuple)
+    N = n + count
+    links = _gadget_tree(n, edge_tuple)
+    children: Dict[int, List[Tuple[int, int, int]]] = {}
+    for child, (par, pport, cport) in links.items():
+        children.setdefault(par, []).append((pport, child, cport))
+
+    send_counts = np.zeros(N, dtype=_I64)
+    dest: List[int] = []
+    aport: List[int] = []
+    oracle_bits = 0
+    for idx in range(N):
+        # children_port_map sorts ports ascending, which is also the
+        # decode order of encode_children_ports — so the send list below
+        # is the order the scheme would emit.
+        ch = sorted(children.get(idx + 1, ()))
+        send_counts[idx] = len(ch)
+        oracle_bits += children_ports_code_length(len(ch), N)
+        for _pport, child, cport in ch:
+            dest.append(child - 1)
+            aport.append(cport)
+
+    # repr ranks of the integer labels 1..N (decimal-string order), the
+    # same ranks VectorTopology would derive from the explicit graph.
+    rank = np.unique(np.arange(1, N + 1).astype(str), return_inverse=True)[1].astype(
+        _I64
+    )
+    init_active = np.zeros(N, dtype=bool)
+    init_active[0] = True  # node 1, the source, at dense index 0
+    program = ReplicaProgram(
+        num_nodes=N,
+        kind="ports",
+        rank=rank,
+        init_active=init_active,
+        init_informed=init_active.copy(),
+        max_messages=max_messages,
+        max_steps=max_steps,
+        send_counts=send_counts,
+        send_dest=np.array(dest, dtype=_I64),
+        send_aport=np.array(aport, dtype=_I64),
+    )
+    return program, oracle_bits
+
+
+@dataclass(frozen=True)
+class MegaGadgetRow:
+    """One mega-scale ``G_{n,S}`` tree-wakeup measurement.
+
+    ``flooding_messages`` is the exact zero-advice cost ``2m - N + 1`` on
+    the same graph — the ``Θ(n²)`` side of the Theorem 2.2 separation,
+    computed analytically since nobody can afford to run it.
+    """
+
+    n: int
+    seed: int
+    gadget_nodes: int
+    gadget_edges: int
+    oracle_bits: int
+    messages: int
+    rounds: int
+    success: bool
+    flooding_messages: int
+
+    @property
+    def bits_per_node_log(self) -> float:
+        """``oracle_bits / (N log2 N)`` — Theorem 2.1 predicts O(1)."""
+        return self.oracle_bits / (self.gadget_nodes * math.log2(self.gadget_nodes))
+
+    @property
+    def messages_per_node(self) -> float:
+        return self.messages / self.gadget_nodes
+
+
+def _row_from_counters(n: int, seed: int, oracle_bits: int, rc) -> MegaGadgetRow:
+    count = rc.informed_step.size - n
+    N = n + count
+    informed = int(np.count_nonzero(rc.informed_step >= 0)) + 1  # + the source
+    m = n * (n - 1) // 2 + count
+    return MegaGadgetRow(
+        n=n,
+        seed=seed,
+        gadget_nodes=N,
+        gadget_edges=m,
+        oracle_bits=oracle_bits,
+        messages=rc.messages_sent,
+        rounds=rc.rounds,
+        success=rc.completed and informed == N,
+        flooding_messages=2 * m - N + 1,
+    )
+
+
+def mega_gadget_wakeup(n: int, seed: int = 0) -> MegaGadgetRow:
+    """Tree wakeup on a random ``G_{n,S}`` without materializing it.
+
+    Feasible to ``n = 10^6`` on one core: the graph is implicit, the tree
+    is derived analytically, and the run is ``N - 1`` messages through
+    the vectorized core.
+    """
+    edge_tuple = sample_edge_tuple_sparse(n, n, seed=seed)
+    program, oracle_bits = gadget_spanning_program(n, edge_tuple)
+    rc = run_batch([program])[0]
+    return _row_from_counters(n, seed, oracle_bits, rc)

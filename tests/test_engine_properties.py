@@ -11,6 +11,14 @@ schemes do:
   from an informed sender;
 * locality — every delivery is consistent with the graph's port maps;
 * determinism — the same seeds give bit-identical traces.
+
+The vectorized classes extend the same treatment to the array engine:
+counter equality against the legacy reference over arbitrary ER graphs,
+random trees, and ``G_{n,S}`` gadgets; per-round informed-set growth
+consistent between the step assignments and the delivery log; round
+count equal to the causal depth of the happened-before DAG; and the
+implicit gadget pipeline (analytic BFS tree, program counters) pinned to
+the explicit one node for node.
 """
 
 import random
@@ -18,8 +26,20 @@ import random
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.algorithms.flooding import Flooding
+from repro.algorithms.tree_wakeup import TreeWakeup
+from repro.core.oracle import NullOracle
+from repro.core.tasks import run_broadcast, run_wakeup
 from repro.network import random_connected_gnp
+from repro.network.builders import random_tree
+from repro.network.constructions import sample_edge_tuple, subdivision_family_graph
+from repro.obs.causal import build_causal_dag
+from repro.obs.observe import Observation
+from repro.obs.sinks import MemorySink
+from repro.oracles.spanning_tree import SpanningTreeWakeupOracle, build_spanning_tree
 from repro.simulator import Simulation, make_scheduler
+from repro.vectorized.gadgets import _gadget_tree, gadget_spanning_program
+from repro.vectorized import run_batch
 
 
 class BudgetedRandomScheme:
@@ -132,3 +152,155 @@ class TestEngineContracts:
         ).run()
         assert trace.messages_sent <= limit or trace.message_limit_hit
         assert len(trace.deliveries) <= trace.messages_sent
+
+
+def _topology(kind: str, n: int, seed: int):
+    """One graph from the three families the vectorized engine must cover."""
+    rng = random.Random(seed)
+    if kind == "gnp":
+        return random_connected_gnp(n, 0.5, rng, port_order="random")
+    if kind == "tree":
+        return random_tree(n, rng)
+    return subdivision_family_graph(n, sample_edge_tuple(n, n, rng))
+
+
+vector_params = st.tuples(
+    st.integers(min_value=4, max_value=14),  # n
+    st.integers(min_value=0, max_value=10**6),  # graph seed
+    st.sampled_from(("gnp", "tree", "gadget")),
+)
+
+
+class TestVectorizedCounters:
+    """The numpy lane against the legacy reference, property-style."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(vector_params)
+    def test_flooding_counters_match_legacy(self, params):
+        n, gseed, kind = params
+        graph = _topology(kind, n, gseed)
+        runs = {
+            engine: run_broadcast(
+                graph, NullOracle(), Flooding(),
+                trace_level="counters", engine=engine,
+            )
+            for engine in ("legacy", "vectorized")
+        }
+        assert runs["vectorized"].trace == runs["legacy"].trace
+        assert runs["vectorized"] == runs["legacy"]
+
+    @settings(max_examples=25, deadline=None)
+    @given(vector_params)
+    def test_tree_wakeup_counters_match_legacy(self, params):
+        n, gseed, kind = params
+        graph = _topology(kind, n, gseed)
+        runs = {
+            engine: run_wakeup(
+                graph, SpanningTreeWakeupOracle(), TreeWakeup(),
+                trace_level="counters", engine=engine,
+            )
+            for engine in ("legacy", "vectorized")
+        }
+        assert runs["vectorized"].trace == runs["legacy"].trace
+        assert runs["vectorized"] == runs["legacy"]
+
+    @settings(max_examples=20, deadline=None)
+    @given(vector_params)
+    def test_informed_set_growth_matches_delivery_log(self, params):
+        """Counters-lane informed steps agree with the full delivery log.
+
+        The informed set after each round — read off the counters run's
+        ``informed_at`` step thresholds — must be exactly the set the
+        full run's delivery log implies (receivers of informed senders),
+        and it must only ever grow.
+        """
+        n, gseed, kind = params
+        graph = _topology(kind, n, gseed)
+        full = run_broadcast(graph, NullOracle(), Flooding(), engine="vectorized")
+        counters = run_broadcast(
+            graph, NullOracle(), Flooding(),
+            trace_level="counters", engine="vectorized",
+        )
+        per_round = counters.trace.per_round_deliveries()
+        informed_from_log = {full.trace.deliveries[0].sender} if full.trace.deliveries else set()
+        end_step = 0
+        prev: set = set()
+        for r in sorted(per_round):
+            end_step += per_round[r]
+            by_threshold = {
+                v for v, s in counters.trace.informed_at.items() if s <= end_step
+            }
+            for d in full.trace.deliveries:
+                if d.round == r and d.sender_informed:
+                    informed_from_log.add(d.receiver)
+            assert by_threshold == informed_from_log, f"round {r} informed set"
+            assert by_threshold >= prev, f"round {r} shrank the informed set"
+            prev = by_threshold
+        assert prev == counters.trace.informed_nodes()
+
+    @settings(max_examples=20, deadline=None)
+    @given(vector_params)
+    def test_round_count_equals_causal_depth(self, params):
+        """Synchronous flooding: rounds == longest happened-before chain."""
+        n, gseed, kind = params
+        graph = _topology(kind, n, gseed)
+        sink = MemorySink()
+        result = run_broadcast(
+            graph, NullOracle(), Flooding(),
+            obs=Observation(sink), engine="vectorized",
+        )
+        dag = build_causal_dag(sink.events)
+        assert dag.causal_depth == result.trace.rounds
+
+
+class TestImplicitGadgets:
+    """The analytic ``G_{n,S}`` pipeline against the explicit one."""
+
+    gadget_params = st.tuples(
+        st.integers(min_value=4, max_value=20),  # n
+        st.integers(min_value=0, max_value=10**6),  # edge-tuple seed
+    )
+
+    @settings(max_examples=20, deadline=None)
+    @given(gadget_params)
+    def test_gadget_tree_matches_bfs(self, params):
+        """``_gadget_tree`` derives exactly the oracle's BFS tree."""
+        n, seed = params
+        rng = random.Random(seed)
+        edge_tuple = sample_edge_tuple(n, n, rng)
+        graph = subdivision_family_graph(n, edge_tuple)
+        links = _gadget_tree(n, edge_tuple)
+        parent = build_spanning_tree(graph, "bfs")
+        assert {c: p for c, p in parent.items() if p is not None} == {
+            c: p for c, (p, _pp, _cp) in links.items()
+        }
+        for child, (par, pport, cport) in links.items():
+            assert graph.neighbor_via(par, pport) == child
+            assert graph.neighbor_via(child, cport) == par
+
+    @settings(max_examples=15, deadline=None)
+    @given(gadget_params)
+    def test_program_counters_match_explicit_run(self, params):
+        """The implicit program's counters equal the explicit pipeline's."""
+        n, seed = params
+        rng = random.Random(seed)
+        edge_tuple = sample_edge_tuple(n, n, rng)
+        graph = subdivision_family_graph(n, edge_tuple)
+        explicit = run_wakeup(
+            graph, SpanningTreeWakeupOracle(), TreeWakeup(),
+            trace_level="counters", engine="vectorized",
+        )
+        program, oracle_bits = gadget_spanning_program(n, edge_tuple)
+        rc = run_batch([program])[0]
+        assert oracle_bits == explicit.oracle_bits
+        assert rc.messages_sent == explicit.trace.messages_sent
+        assert rc.delivered == explicit.trace.delivered
+        assert rc.rounds == explicit.trace.rounds
+        assert rc.completed == explicit.trace.completed
+        assert dict(rc.round_counts) == explicit.trace.per_round_deliveries()
+        # informed steps: dense index i holds label i+1
+        steps = {
+            i + 1: int(s) for i, s in enumerate(rc.informed_step) if s >= 0
+        }
+        steps[1] = 0  # the source, marked by the caller in apply_counters
+        assert steps == explicit.trace.informed_at

@@ -31,6 +31,7 @@ MATRIX = {
     "E13": {"sizes": (8,), "families": ("complete",)},
     # E14's findings compare against the complete-graph row, so it must stay
     "E14": {"n": 8, "families": ("cycle", "complete")},
+    "E15": {"n_values": (16, 32), "seeds": (0,)},
 }
 
 

@@ -19,7 +19,7 @@ FAMS = ("path", "complete", "gnp_sparse")
 
 class TestRegistry:
     def test_all_ids_present(self):
-        assert set(EXPERIMENTS) == {f"E{i}" for i in range(1, 15)}
+        assert set(EXPERIMENTS) == {f"E{i}" for i in range(1, 16)}
 
     def test_unknown_id(self):
         with pytest.raises(ValueError):
