@@ -4,6 +4,11 @@
 Usage:
 
     python scripts/check_bench_regression.py BASELINE FRESH [--tolerance 0.25]
+    python scripts/check_bench_regression.py --explain BENCH [BENCH ...]
+
+``--explain`` prints a per-key value/delta table (baseline -> current when
+two or more files are given, values and gate classification for one) and
+always exits 0 — the inspection face of the same tables the gate reads.
 
 Both files are ``repro-bench/1`` exports (``python -m repro bench-export``).
 Which numbers are gated is a per-benchmark table (:data:`GATED_BENCHMARKS`):
@@ -57,6 +62,19 @@ GATED_BENCHMARKS: Dict[str, Tuple[Tuple[str, ...], Tuple[str, ...]]] = {
         ("_profiled_ns",),
         ("_off_ns", "_causal_ns", "_overhead_frac"),
     ),
+    # The serving daemon (BENCH_service.json): the warm-phase absolutes are
+    # the product promise, so they are gated; the cold numbers and the
+    # warm/cold ratio are informational (the >= 5x floor is asserted inside
+    # the benchmark itself, where both phases share one process and host).
+    "test_service_replay": (
+        ("warm_p99_us", "warm_us_per_req"),
+        (
+            "cold_p50_us", "cold_p99_us", "cold_us_per_req", "cold_rps",
+            "warm_p50_us", "warm_rps", "warm_speedup",
+            "distinct_requests", "total_requests", "concurrency",
+            "served", "cache_hits", "cache_misses",
+        ),
+    ),
 }
 
 
@@ -107,20 +125,79 @@ def gated_numbers(path: str) -> Dict[str, Tuple[float, bool]]:
     return numbers
 
 
+def explain(paths) -> int:
+    """Per-key tables for any number of BENCH files; never a verdict.
+
+    One file prints its keys with values and gate classification; two or
+    more print baseline -> current deltas (first file is the baseline).
+    Always exits 0 — this is the debugging face of the gate, for reading
+    *why* a check passed or failed, not a second enforcement path.
+    """
+    tables = [(path, gated_numbers(path)) for path in paths]
+    if len(tables) == 1:
+        path, numbers = tables[0]
+        print(f"{path}: {len(numbers)} tabled key(s)")
+        for key in sorted(numbers):
+            value, gated = numbers[key]
+            kind = "gated" if gated else "info"
+            print(f"  {key:42s} {value:14.4f} [{kind}]")
+        return 0
+    base_path, base = tables[0]
+    for path, current in tables[1:]:
+        print(f"{base_path} (baseline) -> {path}: ")
+        for key in sorted(set(base) | set(current)):
+            gated = (base.get(key) or current[key])[1]
+            kind = "gated" if gated else "info"
+            if key not in base:
+                print(f"  {key:42s} {'(absent)':>14s} -> {current[key][0]:14.4f} [{kind}]")
+                continue
+            if key not in current:
+                print(f"  {key:42s} {base[key][0]:14.4f} -> {'(absent)':>14s} [{kind}]")
+                continue
+            base_value, current_value = base[key][0], current[key][0]
+            if base_value > 0:
+                delta = f"{current_value / base_value - 1.0:+7.1%}"
+            else:
+                delta = "    n/a"
+            print(
+                f"  {key:42s} {base_value:14.4f} -> {current_value:14.4f} "
+                f"({delta}) [{kind}]"
+            )
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("baseline", help="committed BENCH_*.json")
-    parser.add_argument("fresh", help="just-measured BENCH_*.json")
+    parser.add_argument(
+        "paths",
+        nargs="+",
+        metavar="BENCH",
+        help="repro-bench exports: BASELINE FRESH to gate, or any number "
+        "of files with --explain",
+    )
     parser.add_argument(
         "--tolerance",
         type=float,
         default=0.25,
         help="allowed fractional slowdown before failing (default 0.25)",
     )
+    parser.add_argument(
+        "--explain",
+        action="store_true",
+        help="print per-key value/delta tables for the given files and "
+        "exit 0 (no gating)",
+    )
     args = parser.parse_args(argv)
 
-    base = gated_numbers(args.baseline)
-    fresh = gated_numbers(args.fresh)
+    if args.explain:
+        return explain(args.paths)
+    if len(args.paths) != 2:
+        _usage_error(
+            f"gating takes exactly two BENCH files (BASELINE FRESH), "
+            f"got {len(args.paths)}; use --explain to inspect any number"
+        )
+    base = gated_numbers(args.paths[0])
+    fresh = gated_numbers(args.paths[1])
 
     # A key present in only one file is a harness/export mismatch, not a
     # perf verdict: name the asymmetry clearly and exit distinctly (2)
@@ -135,9 +212,9 @@ def main(argv=None) -> int:
             file=sys.stderr,
         )
         for key in only_base:
-            print(f"  {key}: only in baseline {args.baseline}", file=sys.stderr)
+            print(f"  {key}: only in baseline {args.paths[0]}", file=sys.stderr)
         for key in only_fresh:
-            print(f"  {key}: only in fresh run {args.fresh}", file=sys.stderr)
+            print(f"  {key}: only in fresh run {args.paths[1]}", file=sys.stderr)
         return 2
 
     failures = []

@@ -23,6 +23,7 @@ MODULES = [
     "repro.lint",
     "repro.obs",
     "repro.parallel",
+    "repro.service",
     "repro.runner",
     "repro.analysis",
     "repro.agent",

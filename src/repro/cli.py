@@ -64,6 +64,14 @@ Commands
     and flamegraph exports.
 ``bench-export raw.json [--out BENCH_obs.json]``
     Convert pytest-benchmark JSON output into the committed perf record.
+``serve [--port P] [--uds PATH] [--workers N] [--cache] [--access-log F]``
+    The long-running advice-serving daemon (see :mod:`repro.service` and
+    ``docs/SERVICE.md``): advice-construction and simulation jobs over
+    localhost HTTP plus an optional Unix-socket IPC lane, answered
+    byte-identically to the direct library calls from a shared
+    content-addressed construction cache, with single-flight request
+    coalescing and bounded-queue backpressure.  SIGTERM drains
+    gracefully: in-flight jobs finish, new ones are refused, exit 0.
 
 ``experiment``/``all`` additionally take ``--progress``: live
 done/failed/ETA heartbeats on stderr while the grid runs.
@@ -321,15 +329,44 @@ TRACE_ORACLES = ("light-tree", "spanning-tree", "null", "full-map")
 
 
 def _make_trace_oracle(name: str):
-    from .core import FullMapOracle, NullOracle
-    from .oracles import LightTreeBroadcastOracle, SpanningTreeWakeupOracle
+    # Same named set the serving daemon accepts: one factory table
+    # (service.jobs.ORACLE_FACTORIES) backs both faces.
+    from .service.jobs import make_oracle
 
-    return {
-        "light-tree": LightTreeBroadcastOracle,
-        "spanning-tree": SpanningTreeWakeupOracle,
-        "null": NullOracle,
-        "full-map": FullMapOracle,
-    }[name]()
+    return make_oracle(name)
+
+
+def _cmd_serve(
+    host: str,
+    port: int,
+    uds: Optional[str],
+    workers: int,
+    max_pending: int,
+    cache_dir: Optional[str],
+    use_cache: bool,
+    memory_entries: Optional[int],
+    access_log: Optional[str],
+) -> int:
+    from .parallel.cache import default_cache_dir
+    from .service import ServiceConfig, serve
+
+    if use_cache and cache_dir is None:
+        cache_dir = default_cache_dir()
+    kwargs = {} if memory_entries is None else {"cache_entries": memory_entries}
+    try:
+        config = ServiceConfig(
+            host=host,
+            port=port,
+            uds=uds,
+            workers=workers,
+            max_pending=max_pending,
+            cache_dir=cache_dir,
+            **kwargs,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return serve(config, access_log=access_log)
 
 
 #: ``repro trace --format`` choices: the JSONL event stream (default), the
@@ -808,6 +845,47 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_bench.add_argument("input", help="file written by pytest --benchmark-json=...")
     p_bench.add_argument("--out", default="BENCH_obs.json")
 
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the advice-serving daemon: warm-cache job service over "
+        "HTTP (localhost) and an optional Unix-socket IPC lane",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1", help="HTTP bind host")
+    p_serve.add_argument(
+        "--port", type=int, default=0, help="HTTP port (0 = ephemeral, printed on the ready line)"
+    )
+    p_serve.add_argument(
+        "--uds", default=None, metavar="PATH",
+        help="also open a Unix-socket IPC lane at PATH (newline-delimited JSON)",
+    )
+    p_serve.add_argument(
+        "--workers", type=int, default=0,
+        help="job worker processes; 0 (default) runs jobs on one in-process "
+        "thread sharing the daemon's construction cache",
+    )
+    p_serve.add_argument(
+        "--max-pending", type=int, default=64,
+        help="distinct jobs in flight before requests are rejected with 429",
+    )
+    p_serve.add_argument(
+        "--cache",
+        action=argparse.BooleanOptionalAction,
+        default=False,
+        help="persist constructions under $REPRO_CACHE_DIR (like `experiment --cache`)",
+    )
+    p_serve.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="explicit persistent cache directory (implies --cache)",
+    )
+    p_serve.add_argument(
+        "--memory-entries", type=int, default=None,
+        help="in-memory construction-cache LRU cap (default 4096)",
+    )
+    p_serve.add_argument(
+        "--access-log", default=None, metavar="FILE",
+        help="write the service_* event stream as JSONL (readable by `repro stats`)",
+    )
+
     p_sanitize = sub.add_parser(
         "sanitize",
         help="hash-randomization stress harness: byte-diff a smoke grid "
@@ -885,6 +963,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_profile(args.id, args.chrome, args.flame, args.cache)
     if args.command == "bench-export":
         return _cmd_bench_export(args.input, args.out)
+    if args.command == "serve":
+        return _cmd_serve(
+            args.host, args.port, args.uds, args.workers, args.max_pending,
+            args.cache_dir, args.cache, args.memory_entries, args.access_log,
+        )
     if args.command == "sanitize":
         from .sanitize import main as sanitize_main
 

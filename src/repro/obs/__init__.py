@@ -46,6 +46,7 @@ from .events import (
     CellFailed,
     CellResumed,
     CellRetried,
+    ConstructionCacheStats,
     Event,
     EVENT_KINDS,
     LimitHit,
@@ -55,6 +56,11 @@ from .events import (
     RoundStarted,
     RunEnded,
     RunStarted,
+    ServiceDrained,
+    ServiceRejected,
+    ServiceRequestReceived,
+    ServiceResponseSent,
+    ServiceStarted,
     SpanEnded,
     SpanStarted,
     SweepCellMeasured,
@@ -112,6 +118,12 @@ __all__ = [
     "CellResumed",
     "ReplayedEvent",
     "AdversaryProbe",
+    "ServiceStarted",
+    "ServiceRequestReceived",
+    "ServiceResponseSent",
+    "ServiceRejected",
+    "ServiceDrained",
+    "ConstructionCacheStats",
     "EVENT_KINDS",
     "jsonable",
     # sinks

@@ -45,6 +45,12 @@ __all__ = [
     "CellFailed",
     "CellResumed",
     "AdversaryProbe",
+    "ServiceStarted",
+    "ServiceRequestReceived",
+    "ServiceResponseSent",
+    "ServiceRejected",
+    "ServiceDrained",
+    "ConstructionCacheStats",
     "EVENT_KINDS",
     "jsonable",
 ]
@@ -332,6 +338,98 @@ class AdversaryProbe(Event):
     answer: Optional[int]
 
 
+@dataclass(frozen=True)
+class ServiceStarted(Event):
+    """The advice-serving daemon opened its listeners.
+
+    Service events (see :mod:`repro.service`) form the daemon's *access
+    log*: a separate stream from the deterministic result traces, like the
+    runner's fault telemetry — request arrival order is scheduling-
+    dependent, so these never mix into a byte-identity contract.
+    """
+
+    kind: ClassVar[str] = "service_started"
+    http: str
+    ipc: str
+    workers: int
+    max_pending: int
+
+
+@dataclass(frozen=True)
+class ServiceRequestReceived(Event):
+    """One job request was admitted for handling.
+
+    ``key`` is the request's content address (the coalescing identity);
+    ``pending`` is the number of jobs in flight at admission time — the
+    queue-depth signal behind the backpressure policy.
+    """
+
+    kind: ClassVar[str] = "service_request"
+    job: str
+    key: str
+    lane: str
+    pending: int
+
+
+@dataclass(frozen=True)
+class ServiceResponseSent(Event):
+    """One response left the daemon.
+
+    ``source`` says how the answer was produced: ``computed`` (this
+    request ran the job), ``coalesced`` (it piggybacked on an identical
+    in-flight request), ``cache`` (served from the response cache), or —
+    for error responses — ``invalid`` / ``rejected`` / ``draining`` /
+    ``failed``.
+    """
+
+    kind: ClassVar[str] = "service_response"
+    job: str
+    key: str
+    status: str
+    source: str
+
+
+@dataclass(frozen=True)
+class ServiceRejected(Event):
+    """Backpressure: a request found the job queue full and was refused
+    with a retry hint instead of being buffered without bound."""
+
+    kind: ClassVar[str] = "service_rejected"
+    job: str
+    pending: int
+    max_pending: int
+    retry_after_s: float
+
+
+@dataclass(frozen=True)
+class ServiceDrained(Event):
+    """The daemon finished a graceful drain: in-flight jobs completed,
+    listeners closed, totals recorded."""
+
+    kind: ClassVar[str] = "service_drained"
+    served: int
+    rejected: int
+
+
+@dataclass(frozen=True)
+class ConstructionCacheStats(Event):
+    """A point-in-time snapshot of a :class:`ConstructionCache`'s counters.
+
+    Emitted by cache owners (the serving daemon, at drain) so saved
+    streams replay cache effectiveness through the same
+    :func:`repro.obs.metrics.apply_event` reducer ``repro stats`` uses.
+    """
+
+    kind: ClassVar[str] = "cache_stats"
+    hits: int
+    misses: int
+    evictions: int
+    disk_hits: int
+    disk_writes: int
+    corrupt_dropped: int
+    entries: int
+
+
 #: kind -> event class, for readers that want to rehydrate typed events.
 EVENT_KINDS: Dict[str, Type[Event]] = {
     cls.kind: cls
@@ -353,5 +451,11 @@ EVENT_KINDS: Dict[str, Type[Event]] = {
         CellFailed,
         CellResumed,
         AdversaryProbe,
+        ServiceStarted,
+        ServiceRequestReceived,
+        ServiceResponseSent,
+        ServiceRejected,
+        ServiceDrained,
+        ConstructionCacheStats,
     )
 }

@@ -235,4 +235,32 @@ def apply_event(metrics: MetricsRegistry, event: Union[Event, Mapping[str, Any]]
     elif kind == "adversary_probe":
         metrics.counter("adversary_probes").inc()
         metrics.gauge("adversary_active_instances").set(data["active_after"])
+    elif kind == "service_started":
+        metrics.counter("service_starts").inc()
+    elif kind == "service_request":
+        metrics.counter("service_requests").inc()
+        metrics.histogram("service_queue_depth").observe(data["pending"])
+    elif kind == "service_response":
+        metrics.counter("service_responses").inc()
+        source = data["source"]
+        if source == "computed":
+            metrics.counter("service_computed").inc()
+        elif source == "coalesced":
+            metrics.counter("service_coalesced").inc()
+        elif source == "cache":
+            metrics.counter("service_cache_hits").inc()
+        if data["status"] != "ok":
+            metrics.counter("service_errors").inc()
+    elif kind == "service_rejected":
+        metrics.counter("service_rejections").inc()
+    elif kind == "service_drained":
+        metrics.counter("service_drains").inc()
+        metrics.gauge("service_served").set(data["served"])
+        metrics.gauge("service_rejected_total").set(data["rejected"])
+    elif kind == "cache_stats":
+        for field in (
+            "hits", "misses", "evictions", "disk_hits", "disk_writes",
+            "corrupt_dropped", "entries",
+        ):
+            metrics.gauge(f"cache_{field}").set(data[field])
     # span_ended and unknown kinds: no metric contribution.

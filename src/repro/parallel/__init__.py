@@ -24,6 +24,7 @@ design.
 
 from .cache import (
     CACHE_SCHEMA,
+    DEFAULT_MAX_ENTRIES,
     CacheStats,
     ConstructionCache,
     default_cache_dir,
@@ -34,11 +35,13 @@ from .executor import (
     parallel_sweep_families,
     resolve_workers,
     run_experiments,
+    worker_cache,
 )
 from .grids import e1_e4_cell
 
 __all__ = [
     "CACHE_SCHEMA",
+    "DEFAULT_MAX_ENTRIES",
     "CacheStats",
     "ConstructionCache",
     "default_cache_dir",
@@ -47,5 +50,6 @@ __all__ = [
     "resolve_workers",
     "parallel_sweep_families",
     "run_experiments",
+    "worker_cache",
     "e1_e4_cell",
 ]

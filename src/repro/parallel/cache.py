@@ -34,11 +34,13 @@ is always safe; every entry is derivable.
 
 from __future__ import annotations
 
+import glob
 import hashlib
 import os
 import tempfile
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Optional
+from typing import Any, Callable, Dict, Optional, Tuple
 
 from ..core.oracle import AdviceMap, Oracle, advice_from_json, advice_to_json
 from ..fastpath.topology import CompiledTopology, compiled_topology
@@ -48,6 +50,7 @@ from ..network.graph import GraphError, PortLabeledGraph
 
 __all__ = [
     "CACHE_SCHEMA",
+    "DEFAULT_MAX_ENTRIES",
     "CacheStats",
     "ConstructionCache",
     "content_address",
@@ -57,6 +60,12 @@ __all__ = [
 
 #: Version tag mixed into every key; bump when the on-disk formats change.
 CACHE_SCHEMA = "repro-cache/1"
+
+#: Default cap on the in-memory layer.  Generous — a whole E1-E15 grid fits
+#: in a few hundred entries — but bounded, so a long-running server (see
+#: :mod:`repro.service`) cannot grow without limit under adversarial or
+#: merely heavy-tailed request mixes.
+DEFAULT_MAX_ENTRIES = 4096
 
 
 def content_address(schema: str, *parts: Any) -> str:
@@ -84,12 +93,19 @@ def default_cache_dir() -> str:
 
 @dataclass
 class CacheStats:
-    """Hit/miss accounting, split by layer."""
+    """Hit/miss accounting, split by layer.
+
+    ``evictions`` counts entries dropped by the LRU bound on the memory
+    layer; ``corrupt_dropped`` counts disk entries that failed to parse
+    (torn writes from a crashed process) and were deleted on read.
+    """
 
     hits: int = 0
     misses: int = 0
     disk_hits: int = 0
     disk_writes: int = 0
+    evictions: int = 0
+    corrupt_dropped: int = 0
 
     @property
     def lookups(self) -> int:
@@ -105,6 +121,8 @@ class CacheStats:
             "misses": self.misses,
             "disk_hits": self.disk_hits,
             "disk_writes": self.disk_writes,
+            "evictions": self.evictions,
+            "corrupt_dropped": self.corrupt_dropped,
             "hit_rate": self.hit_rate,
         }
 
@@ -118,9 +136,12 @@ class CacheSpec:
     """
 
     persist_dir: Optional[str] = None
+    max_entries: Optional[int] = DEFAULT_MAX_ENTRIES
 
     def build(self) -> "ConstructionCache":
-        return ConstructionCache(persist_dir=self.persist_dir)
+        return ConstructionCache(
+            persist_dir=self.persist_dir, max_entries=self.max_entries
+        )
 
 
 class ConstructionCache:
@@ -129,14 +150,26 @@ class ConstructionCache:
     ``persist_dir=None`` keeps the cache purely in memory; a directory
     enables the disk layer (created lazily on first write).  Both layers
     are keyed identically, so a disk hit also warms the memory layer.
+
+    The memory layer is a bounded LRU: ``max_entries`` caps the total
+    number of cached objects across all kinds (graphs, advice, compiled
+    topologies); the least-recently-used entry is evicted first and
+    counted in ``stats.evictions``.  Eviction never touches the disk
+    layer — an evicted-then-requested entry comes back as a disk hit.
+    ``max_entries=None`` disables the bound.
     """
 
-    def __init__(self, persist_dir: Optional[str] = None) -> None:
+    def __init__(
+        self,
+        persist_dir: Optional[str] = None,
+        max_entries: Optional[int] = DEFAULT_MAX_ENTRIES,
+    ) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1 or None, got {max_entries}")
         self.persist_dir = persist_dir
+        self.max_entries = max_entries
         self.stats = CacheStats()
-        self._graphs: Dict[str, PortLabeledGraph] = {}
-        self._advice: Dict[str, AdviceMap] = {}
-        self._topologies: Dict[str, CompiledTopology] = {}
+        self._memory: "OrderedDict[Tuple[str, str], Any]" = OrderedDict()
 
     @classmethod
     def persistent(cls) -> "ConstructionCache":
@@ -145,7 +178,24 @@ class ConstructionCache:
 
     def spec(self) -> CacheSpec:
         """The picklable description workers rebuild this cache from."""
-        return CacheSpec(persist_dir=self.persist_dir)
+        return CacheSpec(persist_dir=self.persist_dir, max_entries=self.max_entries)
+
+    # ------------------------------------------------------------------
+    # Memory layer (bounded LRU)
+    # ------------------------------------------------------------------
+    def _mem_get(self, kind: str, key: str) -> Any:
+        entry = self._memory.get((kind, key))
+        if entry is not None:
+            self._memory.move_to_end((kind, key))
+        return entry
+
+    def _mem_put(self, kind: str, key: str, value: Any) -> None:
+        self._memory[(kind, key)] = value
+        self._memory.move_to_end((kind, key))
+        if self.max_entries is not None:
+            while len(self._memory) > self.max_entries:
+                self._memory.popitem(last=False)
+                self.stats.evictions += 1
 
     # ------------------------------------------------------------------
     # Keys
@@ -173,7 +223,7 @@ class ConstructionCache:
         with and without a cache.
         """
         key = self.key("graph", family, n, seed)
-        cached = self._graphs.get(key)
+        cached = self._mem_get("graph", key)
         if cached is not None:
             self.stats.hits += 1
             return cached
@@ -181,7 +231,7 @@ class ConstructionCache:
         if loaded is not None:
             self.stats.hits += 1
             self.stats.disk_hits += 1
-            self._graphs[key] = loaded
+            self._mem_put("graph", key, loaded)
             return loaded
         self.stats.misses += 1
         if builder is None:
@@ -190,7 +240,7 @@ class ConstructionCache:
             graph = builder()
         if not graph.frozen:
             graph = graph.copy().freeze()
-        self._graphs[key] = graph
+        self._mem_put("graph", key, graph)
         self._store(key, "graph", lambda: serialization.to_json(graph))
         return graph
 
@@ -212,7 +262,7 @@ class ConstructionCache:
         caller vouches that ``graph`` is the ``(family, n, seed)`` member.
         """
         key = self.key("topology", family, n, seed)
-        cached = self._topologies.get(key)
+        cached = self._mem_get("topology", key)
         if cached is not None:
             self.stats.hits += 1
             return cached
@@ -220,7 +270,7 @@ class ConstructionCache:
         if not graph.frozen:
             graph = graph.copy().freeze()
         topo = compiled_topology(graph)
-        self._topologies[key] = topo
+        self._mem_put("topology", key, topo)
         return topo
 
     # ------------------------------------------------------------------
@@ -244,20 +294,19 @@ class ConstructionCache:
         parameters in the name).
         """
         key = self.key("advice", family, n, seed, oracle.name)
-        cached = self._advice.get(key)
+        cached = self._mem_get("advice", key)
         if cached is not None:
             self.stats.hits += 1
             return cached
-        text = self._load_text(key, "advice")
-        if text is not None:
-            advice = advice_from_json(text)
+        advice = self._load_advice(key)
+        if advice is not None:
             self.stats.hits += 1
             self.stats.disk_hits += 1
-            self._advice[key] = advice
+            self._mem_put("advice", key, advice)
             return advice
         self.stats.misses += 1
         advice = oracle.advise(graph)
-        self._advice[key] = advice
+        self._mem_put("advice", key, advice)
         self._store(key, "advice", lambda: advice_to_json(advice))
         return advice
 
@@ -277,14 +326,40 @@ class ConstructionCache:
         except OSError:
             return None
 
+    def _drop_corrupt(self, key: str, kind: str) -> None:
+        """Delete a disk entry that failed to parse and count it.
+
+        A partial or garbled file is the crash window of a concurrent
+        writer: another process died between ``mkstemp`` and ``replace``,
+        or the entry predates a format change.  Deleting it turns a
+        permanent parse failure into a one-time miss — the next ``_store``
+        rewrites it whole.
+        """
+        self.stats.corrupt_dropped += 1
+        try:
+            os.remove(self._path(key, kind))
+        except OSError:
+            pass  # already gone (another reader won the race) — fine
+
     def _load_graph(self, key: str) -> Optional[PortLabeledGraph]:
         text = self._load_text(key, "graph")
         if text is None:
             return None
         try:
             return serialization.from_json(text)
-        except (GraphError, ValueError, KeyError):
+        except (GraphError, ValueError, KeyError, TypeError):
+            self._drop_corrupt(key, "graph")
             return None  # corrupt or stale entry: rebuild and overwrite
+
+    def _load_advice(self, key: str) -> Optional[AdviceMap]:
+        text = self._load_text(key, "advice")
+        if text is None:
+            return None
+        try:
+            return advice_from_json(text)
+        except (ValueError, SyntaxError, KeyError, TypeError):
+            self._drop_corrupt(key, "advice")
+            return None  # torn write from a crashed process: rebuild
 
     def _store(self, key: str, kind: str, render: Callable[[], str]) -> None:
         """Write-through, atomically (temp file + rename), best effort.
@@ -310,16 +385,37 @@ class ConstructionCache:
             return
 
     # ------------------------------------------------------------------
+    # Crash-window recovery
+    # ------------------------------------------------------------------
+    def recover(self) -> int:
+        """Sweep the disk layer for leftover ``*.tmp`` files and delete them.
+
+        A process killed between ``mkstemp`` and the atomic rename leaves
+        an orphaned temp file behind.  Such files are never *read* (loads
+        go through the final name only), but a long-running service should
+        not accumulate them.  Returns the number of files removed; safe to
+        race with concurrent writers, whose temp names are unique.
+        """
+        if self.persist_dir is None or not os.path.isdir(self.persist_dir):
+            return 0
+        removed = 0
+        for path in sorted(glob.glob(os.path.join(self.persist_dir, "*.tmp"))):
+            try:
+                os.remove(path)
+                removed += 1
+            except OSError:
+                pass  # a concurrent recover() got it first
+        return removed
+
+    # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     def __len__(self) -> int:
-        return len(self._graphs) + len(self._advice) + len(self._topologies)
+        return len(self._memory)
 
     def clear_memory(self) -> None:
         """Drop the in-memory layer (the disk layer stays)."""
-        self._graphs.clear()
-        self._advice.clear()
-        self._topologies.clear()
+        self._memory.clear()
 
     def __repr__(self) -> str:
         where = self.persist_dir or "memory"

@@ -87,12 +87,22 @@ _WORKER_CACHE: Optional[ConstructionCache] = None
 def init_worker_cache(cache_spec: Optional[CacheSpec]) -> None:
     """Pool initializer: hydrate this worker's cache from a picklable spec.
 
-    Shared by this executor and the fault-tolerant runner in
-    :mod:`repro.runner`, which submits the same worker entry points through
-    its own journaled pool.
+    Shared by this executor, the fault-tolerant runner in
+    :mod:`repro.runner`, and the serving daemon in :mod:`repro.service` —
+    all three submit work through pools initialized this way.
     """
     global _WORKER_CACHE
     _WORKER_CACHE = cache_spec.build() if cache_spec is not None else None
+
+
+def worker_cache() -> Optional[ConstructionCache]:
+    """This worker's cache (``None`` until :func:`init_worker_cache` ran).
+
+    The public accessor for worker entry points living outside this module
+    — e.g. :func:`repro.service.jobs.service_job_task` — so they share the
+    per-worker memory layer and the cross-worker disk layer.
+    """
+    return _WORKER_CACHE
 
 
 def sweep_cell_task(

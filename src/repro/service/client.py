@@ -1,0 +1,125 @@
+"""Blocking clients for both daemon lanes.
+
+Deliberately synchronous: benchmark worker threads and tests want plain
+call-and-return semantics, and ``http.client`` with a persistent
+connection is the closest stdlib analogue to what a production client
+would do (connection reuse, no per-request handshake).
+
+Both clients raise :class:`ServiceError` on a non-``ok`` envelope, with
+the wire-level ``code`` and the ``retry_after`` hint (when the daemon sent
+one) attached — a load generator's backoff loop reads those, it does not
+parse messages.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+from typing import Any, Dict, Mapping, Optional
+
+from .protocol import canonical_json
+
+__all__ = ["ServiceError", "HttpServiceClient", "IpcServiceClient"]
+
+
+class ServiceError(RuntimeError):
+    """The daemon answered with an error envelope."""
+
+    def __init__(self, envelope: Mapping[str, Any], status: Optional[int] = None) -> None:
+        super().__init__(envelope.get("message", "service error"))
+        self.envelope = dict(envelope)
+        self.code: str = envelope.get("error", "unknown")
+        self.retry_after: Optional[float] = envelope.get("retry_after_s")
+        self.status = status
+
+
+def _unwrap(envelope: Dict[str, Any], status: Optional[int] = None) -> Dict[str, Any]:
+    if not envelope.get("ok"):
+        raise ServiceError(envelope, status=status)
+    return envelope
+
+
+class HttpServiceClient:
+    """A persistent keep-alive connection to the daemon's HTTP lane."""
+
+    def __init__(self, host: str, port: int, timeout: float = 60.0) -> None:
+        self.host = host
+        self.port = port
+        self._conn = http.client.HTTPConnection(host, port, timeout=timeout)
+
+    def request(self, data: Mapping[str, Any], path: str = "/v1/jobs") -> Dict[str, Any]:
+        """POST one job request; returns the full success envelope."""
+        body = canonical_json(dict(data)).encode("utf-8")
+        self._conn.request(
+            "POST", path, body=body, headers={"Content-Type": "application/json"}
+        )
+        response = self._conn.getresponse()
+        raw = response.read()
+        envelope = json.loads(raw.decode("utf-8"))
+        return _unwrap(envelope, status=response.status)
+
+    def request_raw(self, data: Mapping[str, Any], path: str = "/v1/jobs") -> bytes:
+        """POST one job request; returns the exact envelope bytes (any status).
+
+        The byte-identity tests compare these bytes directly against the
+        canonical encoding of a locally built envelope.
+        """
+        body = canonical_json(dict(data)).encode("utf-8")
+        self._conn.request(
+            "POST", path, body=body, headers={"Content-Type": "application/json"}
+        )
+        response = self._conn.getresponse()
+        return response.read()
+
+    def get(self, path: str) -> Dict[str, Any]:
+        """GET a control endpoint (``/healthz``, ``/stats``)."""
+        self._conn.request("GET", path)
+        response = self._conn.getresponse()
+        return json.loads(response.read().decode("utf-8"))
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "HttpServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class IpcServiceClient:
+    """A persistent connection to the daemon's Unix-socket IPC lane."""
+
+    def __init__(self, path: str, timeout: float = 60.0) -> None:
+        self.path = path
+        self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self._sock.settimeout(timeout)
+        self._sock.connect(path)
+        self._file = self._sock.makefile("rwb")
+
+    def request(self, data: Mapping[str, Any]) -> Dict[str, Any]:
+        """Send one request line; returns the full success envelope."""
+        envelope = json.loads(self.request_raw(data).decode("utf-8"))
+        return _unwrap(envelope)
+
+    def request_raw(self, data: Mapping[str, Any]) -> bytes:
+        """Send one request line; returns the exact envelope bytes."""
+        self._file.write(canonical_json(dict(data)).encode("utf-8") + b"\n")
+        self._file.flush()
+        line = self._file.readline()
+        if not line:
+            raise ConnectionError("IPC connection closed by the daemon")
+        return line.rstrip(b"\n")
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "IpcServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,95 @@
+"""In-process test/bench harness: the daemon on a background thread.
+
+Tests and the load generator want a real served daemon — actual sockets,
+actual concurrency — without subprocess management.  :class:`ServiceThread`
+runs an event loop + :class:`AdviceService` on a daemon thread, blocks the
+caller until the listeners are bound, and exposes the bound address; the
+caller talks to it with the blocking clients from
+:mod:`repro.service.client` and tears it down with :meth:`stop` (a full
+graceful drain).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Optional, Tuple
+
+from ..obs.observe import Observation
+from .core import AdviceService, ServiceConfig
+
+__all__ = ["ServiceThread"]
+
+
+class ServiceThread:
+    """A served :class:`AdviceService` on a background thread.
+
+    Usage::
+
+        with ServiceThread(ServiceConfig(uds=sock_path)) as st:
+            client = HttpServiceClient(*st.http_address)
+            ...
+
+    ``service`` is the live object — tests inspect its counters and (with
+    care: only between requests) monkeypatch its ``_job_fn``.
+    """
+
+    def __init__(
+        self, config: ServiceConfig, obs: Optional[Observation] = None
+    ) -> None:
+        self.config = config
+        self.obs = obs
+        self.service: Optional[AdviceService] = None
+        self.loop: Optional[asyncio.AbstractEventLoop] = None
+        self._ready = threading.Event()
+        self._error: Optional[BaseException] = None
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    # ------------------------------------------------------------------
+    def start(self) -> "ServiceThread":
+        self._thread.start()
+        self._ready.wait(timeout=30.0)
+        if self._error is not None:
+            raise RuntimeError("service failed to start") from self._error
+        if self.service is None:
+            raise RuntimeError("service did not become ready within 30s")
+        return self
+
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._serve())
+        except BaseException as exc:  # surfaced to the caller in start()
+            self._error = exc
+            self._ready.set()
+
+    async def _serve(self) -> None:
+        self.loop = asyncio.get_running_loop()
+        self.service = AdviceService(self.config, obs=self.obs)
+        await self.service.start()
+        self._ready.set()
+        await self.service.stopped.wait()
+
+    # ------------------------------------------------------------------
+    @property
+    def http_address(self) -> Tuple[str, int]:
+        assert self.service is not None and self.service.http_address is not None
+        return self.service.http_address
+
+    @property
+    def ipc_path(self) -> Optional[str]:
+        assert self.service is not None
+        return self.service.ipc_path
+
+    def stop(self, timeout: float = 30.0) -> None:
+        """Request a graceful drain and join the thread."""
+        if self.service is not None and self.loop is not None:
+            self.loop.call_soon_threadsafe(self.service.request_drain)
+        self._thread.join(timeout=timeout)
+        if self._thread.is_alive():
+            raise RuntimeError("service thread did not drain in time")
+
+    def __enter__(self) -> "ServiceThread":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -74,3 +74,90 @@ def test_within_tolerance_exits_zero(tmp_path):
     proc = _run(str(base), str(fresh))
     assert proc.returncode == 0
     assert "ok" in proc.stdout
+
+
+def _service_export(extra_info):
+    return {
+        "schema": "repro-bench/1",
+        "benchmarks": [{"name": "test_service_replay", "extra_info": extra_info}],
+    }
+
+
+def test_service_benchmark_is_gated(tmp_path):
+    base = tmp_path / "base.json"
+    fresh = tmp_path / "fresh.json"
+    numbers = {"warm_p99_us": 1000.0, "warm_us_per_req": 500.0, "cold_p99_us": 9000.0}
+    base.write_text(json.dumps(_service_export(numbers)), encoding="utf-8")
+    slow = {**numbers, "warm_p99_us": 2000.0}
+    fresh.write_text(json.dumps(_service_export(slow)), encoding="utf-8")
+    proc = _run(str(base), str(fresh))
+    assert proc.returncode == 1
+    assert "warm_p99_us" in proc.stdout
+
+
+def test_service_cold_numbers_are_informational(tmp_path):
+    base = tmp_path / "base.json"
+    fresh = tmp_path / "fresh.json"
+    numbers = {"warm_p99_us": 1000.0, "warm_us_per_req": 500.0, "cold_p99_us": 9000.0}
+    base.write_text(json.dumps(_service_export(numbers)), encoding="utf-8")
+    cold_slow = {**numbers, "cold_p99_us": 90000.0}  # 10x colder: not gated
+    fresh.write_text(json.dumps(_service_export(cold_slow)), encoding="utf-8")
+    proc = _run(str(base), str(fresh))
+    assert proc.returncode == 0
+
+
+# ----------------------------------------------------------------------
+# --explain
+# ----------------------------------------------------------------------
+def test_explain_single_file_classifies_keys(tmp_path):
+    bench = tmp_path / "bench.json"
+    numbers = {"warm_p99_us": 1000.0, "warm_us_per_req": 500.0, "cold_p99_us": 9000.0}
+    bench.write_text(json.dumps(_service_export(numbers)), encoding="utf-8")
+    proc = _run("--explain", str(bench))
+    assert proc.returncode == 0
+    lines = {
+        line.split()[0]: line for line in proc.stdout.splitlines() if "[" in line
+    }
+    assert "[gated]" in lines["warm_p99_us"]
+    assert "[gated]" in lines["warm_us_per_req"]
+    assert "[info]" in lines["cold_p99_us"]
+
+
+def test_explain_never_fails_even_on_regression(tmp_path):
+    base = tmp_path / "base.json"
+    fresh = tmp_path / "fresh.json"
+    base.write_text(json.dumps(_export({"a_fast_ns": 100.0})), encoding="utf-8")
+    fresh.write_text(json.dumps(_export({"a_fast_ns": 900.0})), encoding="utf-8")
+    proc = _run("--explain", str(base), str(fresh))
+    assert proc.returncode == 0
+    assert "+800.0%" in proc.stdout
+    assert "REGRESSION" not in proc.stdout
+
+
+def test_explain_marks_key_asymmetry(tmp_path):
+    base = tmp_path / "base.json"
+    fresh = tmp_path / "fresh.json"
+    base.write_text(json.dumps(_export({"a_fast_ns": 100.0})), encoding="utf-8")
+    fresh.write_text(
+        json.dumps(_export({"b_fast_ns": 100.0})), encoding="utf-8"
+    )
+    proc = _run("--explain", str(base), str(fresh))
+    assert proc.returncode == 0
+    assert "(absent)" in proc.stdout
+
+
+def test_gating_requires_exactly_two_files(tmp_path):
+    bench = tmp_path / "bench.json"
+    bench.write_text(json.dumps(_export({"a_fast_ns": 100.0})), encoding="utf-8")
+    proc = _run(str(bench))
+    assert proc.returncode == 2
+    assert "--explain" in proc.stderr
+    proc = _run(str(bench), str(bench), str(bench))
+    assert proc.returncode == 2
+
+
+def test_real_committed_service_baseline_parses():
+    committed = os.path.join(REPO_ROOT, "BENCH_service.json")
+    proc = _run("--explain", committed)
+    assert proc.returncode == 0
+    assert "[gated]" in proc.stdout

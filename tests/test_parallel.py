@@ -312,3 +312,129 @@ def test_parallel_sweep_with_persistent_cache_matches(tmp_path):
     warm = ConstructionCache(persist_dir=str(tmp_path))
     warm.graph(FAMILIES[0], SIZES[0])
     assert warm.stats.disk_hits == 1
+
+
+# ----------------------------------------------------------------------
+# Bounded memory layer (LRU)
+# ----------------------------------------------------------------------
+def test_cache_lru_evicts_least_recent():
+    cache = ConstructionCache(max_entries=2)
+    cache.graph("path", 3)      # [path3]
+    cache.graph("path", 4)      # [path3, path4]
+    cache.graph("path", 3)      # touch -> [path4, path3]
+    cache.graph("path", 5)      # evicts path4 -> [path3, path5]
+    assert len(cache) == 2
+    assert cache.stats.evictions == 1
+    cache.graph("path", 3)      # still resident
+    assert cache.stats.hits == 2
+    cache.graph("path", 4)      # evicted above: a fresh miss
+    assert cache.stats.misses == 4
+    assert cache.stats.evictions == 2
+
+
+def test_cache_lru_counts_all_kinds():
+    cache = ConstructionCache(max_entries=2)
+    g = cache.graph("path", 3)
+    cache.advice("path", 3, LightTreeBroadcastOracle(), g)
+    cache.topology("path", 3, g)  # third entry: evicts the graph
+    assert len(cache) == 2
+    assert cache.stats.evictions == 1
+
+
+def test_cache_eviction_never_touches_disk(tmp_path):
+    cache = ConstructionCache(persist_dir=str(tmp_path), max_entries=1)
+    cache.graph("path", 3)
+    cache.graph("path", 4)  # evicts path3 from memory only
+    assert cache.stats.evictions == 1
+    cache.graph("path", 3)  # comes back from disk, not a rebuild
+    assert cache.stats.disk_hits == 1
+
+
+def test_cache_rejects_nonpositive_bound():
+    with pytest.raises(ValueError):
+        ConstructionCache(max_entries=0)
+    unbounded = ConstructionCache(max_entries=None)
+    for n in range(3, 40):
+        unbounded.graph("path", n)
+    assert len(unbounded) == 37
+    assert unbounded.stats.evictions == 0
+
+
+def test_cache_spec_carries_max_entries(tmp_path):
+    cache = ConstructionCache(persist_dir=str(tmp_path), max_entries=7)
+    rebuilt = cache.spec().build()
+    assert rebuilt.max_entries == 7
+    assert rebuilt.persist_dir == str(tmp_path)
+
+
+# ----------------------------------------------------------------------
+# Disk-layer hardening: corrupt entries and crash-window recovery
+# ----------------------------------------------------------------------
+def _sole_disk_file(tmp_path, kind):
+    files = [p for p in os.listdir(tmp_path) if p.endswith(f".{kind}.json")]
+    assert len(files) == 1
+    return os.path.join(str(tmp_path), files[0])
+
+
+def test_corrupt_graph_entry_is_dropped_and_rebuilt(tmp_path):
+    writer = ConstructionCache(persist_dir=str(tmp_path))
+    original = writer.graph("path", 5)
+    path = _sole_disk_file(tmp_path, "graph")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write('{"torn":')  # a crashed writer's partial JSON
+    reader = ConstructionCache(persist_dir=str(tmp_path))
+    rebuilt = reader.graph("path", 5)
+    assert rebuilt.num_nodes == original.num_nodes
+    assert reader.stats.corrupt_dropped == 1
+    assert reader.stats.misses == 1  # treated as a miss, not an error
+    # the entry was deleted and rewritten whole
+    fresh = ConstructionCache(persist_dir=str(tmp_path))
+    fresh.graph("path", 5)
+    assert fresh.stats.disk_hits == 1
+    assert fresh.stats.corrupt_dropped == 0
+
+
+def test_corrupt_advice_entry_is_dropped_and_rebuilt(tmp_path):
+    writer = ConstructionCache(persist_dir=str(tmp_path))
+    graph = writer.graph("path", 5)
+    oracle = LightTreeBroadcastOracle()
+    advice = writer.advice("path", 5, oracle, graph)
+    path = _sole_disk_file(tmp_path, "advice")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write("not json at all")
+    reader = ConstructionCache(persist_dir=str(tmp_path))
+    g = reader.graph("path", 5)
+    again = reader.advice("path", 5, oracle, g)
+    assert again.total_bits() == advice.total_bits()
+    assert reader.stats.corrupt_dropped == 1
+
+
+def test_corrupt_entry_with_valid_json_wrong_shape(tmp_path):
+    writer = ConstructionCache(persist_dir=str(tmp_path))
+    writer.graph("path", 5)
+    path = _sole_disk_file(tmp_path, "graph")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write('{"schema": "something-else/9"}')
+    reader = ConstructionCache(persist_dir=str(tmp_path))
+    assert reader.graph("path", 5).num_nodes == 5
+    assert reader.stats.corrupt_dropped == 1
+
+
+def test_recover_sweeps_orphaned_tmp_files(tmp_path):
+    cache = ConstructionCache(persist_dir=str(tmp_path))
+    cache.graph("path", 5)
+    for name in ("abc123.tmp", "def456.tmp"):
+        with open(os.path.join(str(tmp_path), name), "w") as handle:
+            handle.write("partial")
+    assert cache.recover() == 2
+    leftovers = [p for p in os.listdir(tmp_path) if p.endswith(".tmp")]
+    assert leftovers == []
+    # the real entry survived the sweep
+    fresh = ConstructionCache(persist_dir=str(tmp_path))
+    fresh.graph("path", 5)
+    assert fresh.stats.disk_hits == 1
+    assert cache.recover() == 0  # idempotent
+
+
+def test_recover_without_disk_layer_is_noop():
+    assert ConstructionCache().recover() == 0
