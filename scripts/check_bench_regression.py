@@ -125,15 +125,38 @@ def gated_numbers(path: str) -> Dict[str, Tuple[float, bool]]:
     return numbers
 
 
-def explain(paths) -> int:
+#: Schema tag for the --json output, versioned like repro-bench/1.
+GATE_SCHEMA = "repro-bench-gate/1"
+
+
+def explain(paths, as_json: bool = False) -> int:
     """Per-key tables for any number of BENCH files; never a verdict.
 
     One file prints its keys with values and gate classification; two or
     more print baseline -> current deltas (first file is the baseline).
     Always exits 0 — this is the debugging face of the gate, for reading
     *why* a check passed or failed, not a second enforcement path.
+    With ``as_json`` the same tables render as one machine-readable
+    document (for CI annotations) instead of text.
     """
     tables = [(path, gated_numbers(path)) for path in paths]
+    if as_json:
+        document = {
+            "schema": GATE_SCHEMA,
+            "mode": "explain",
+            "files": [
+                {
+                    "path": path,
+                    "keys": [
+                        {"key": key, "value": value, "gated": gated}
+                        for key, (value, gated) in sorted(numbers.items())
+                    ],
+                }
+                for path, numbers in tables
+            ],
+        }
+        print(json.dumps(document, indent=2, sort_keys=True))
+        return 0
     if len(tables) == 1:
         path, numbers = tables[0]
         print(f"{path}: {len(numbers)} tabled key(s)")
@@ -187,10 +210,16 @@ def main(argv=None) -> int:
         help="print per-key value/delta tables for the given files and "
         "exit 0 (no gating)",
     )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the same per-key table as one repro-bench-gate/1 JSON "
+        "document (for CI annotations); exit codes are unchanged",
+    )
     args = parser.parse_args(argv)
 
     if args.explain:
-        return explain(args.paths)
+        return explain(args.paths, as_json=args.json)
     if len(args.paths) != 2:
         _usage_error(
             f"gating takes exactly two BENCH files (BASELINE FRESH), "
@@ -218,6 +247,7 @@ def main(argv=None) -> int:
         return 2
 
     failures = []
+    rows = []
     for key in sorted(base):
         base_value, gated = base[key]
         fresh_value, _ = fresh[key]
@@ -244,10 +274,33 @@ def main(argv=None) -> int:
             )
         elif not gated:
             verdict = "info"
-        print(
-            f"{key:42s} {base_value:12.4f} -> {fresh_value:12.4f} "
-            f"({delta}) [{verdict}]"
+        rows.append(
+            {
+                "key": key,
+                "gated": gated,
+                "baseline": base_value,
+                "fresh": fresh_value,
+                "ratio": ratio,
+                "verdict": verdict,
+            }
         )
+        if not args.json:
+            print(
+                f"{key:42s} {base_value:12.4f} -> {fresh_value:12.4f} "
+                f"({delta}) [{verdict}]"
+            )
+    if args.json:
+        document = {
+            "schema": GATE_SCHEMA,
+            "mode": "gate",
+            "baseline": args.paths[0],
+            "fresh": args.paths[1],
+            "tolerance": args.tolerance,
+            "ok": not failures,
+            "regressions": sum(1 for r in rows if r["verdict"] == "REGRESSION"),
+            "keys": rows,
+        }
+        print(json.dumps(document, indent=2, sort_keys=True))
     if failures:
         print(
             f"\nFAIL: {len(failures)} gated metric(s) regressed beyond "
@@ -257,7 +310,8 @@ def main(argv=None) -> int:
         for line in failures:
             print(f"  {line}", file=sys.stderr)
         return 1
-    print(f"\nok: gated benchmark cost within {args.tolerance:.0%} of baseline")
+    if not args.json:
+        print(f"\nok: gated benchmark cost within {args.tolerance:.0%} of baseline")
     return 0
 
 

@@ -26,6 +26,7 @@ MODULES = [
     "repro.service",
     "repro.runner",
     "repro.analysis",
+    "repro.verdict",
     "repro.agent",
     "repro.cli",
 ]

@@ -25,6 +25,13 @@ from .experiments import (
 )
 from .report import render_markdown, write_report
 from .fits import GROWTH_MODELS, GrowthFit, classify_growth, fit_rate
+from .series import (
+    Series,
+    degraded_rows,
+    experiment_rows,
+    growth_finding_series,
+    measured_series,
+)
 from .measure import (
     measurement_keywords,
     run_pair,
@@ -57,6 +64,11 @@ __all__ = [
     "GROWTH_MODELS",
     "fit_rate",
     "classify_growth",
+    "Series",
+    "measured_series",
+    "growth_finding_series",
+    "degraded_rows",
+    "experiment_rows",
     "sweep_families",
     "run_sweep_cell",
     "measurement_keywords",

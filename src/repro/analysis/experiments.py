@@ -66,6 +66,7 @@ from ..oracles.spanning_tree import SpanningTreeWakeupOracle, build_spanning_tre
 from ..simulator.schedulers import make_scheduler
 from .fits import classify_growth
 from .result import ExperimentResult, format_experiment
+from .series import growth_finding_series, measured_series
 
 __all__ = [
     "ExperimentResult",
@@ -144,13 +145,9 @@ def experiment_e1_wakeup_upper(
     )
     within = all(r["oracle_bits"] <= r["bound_bits"] for r in rows)
     findings.append(f"all oracle sizes within the analytic bound: {within}")
-    per_family = {}
-    for r in rows:
-        per_family.setdefault(r["family"], []).append(r)
-    for family, frows in per_family.items():
-        if len(frows) >= 3:
-            fits = classify_growth([r["n"] for r in frows], [r["oracle_bits"] for r in frows])
-            findings.append(f"{family}: oracle size best fit {fits[0]}")
+    for series in growth_finding_series(rows, "oracle_bits", experiment="E1"):
+        fits = classify_growth(series.xs, series.ys)
+        findings.append(f"{series.group}: oracle size best fit {fits[0]}")
     return ExperimentResult("E1", "Theorem 2.1 — wakeup with a linear number of messages", rows, findings)
 
 
@@ -184,6 +181,8 @@ def experiment_e2_wakeup_lower(
     # (b) the hard family: upper bound tight on it, baselines quadratic.
     for n in gadget_sizes:
         row = gadget_wakeup_upper(n, seed=n, cache=cache)
+        # "N" is a hidden series field (not in the printed columns): it lets
+        # measured_series() expose the oracle-bits-vs-N curve for verdicts.
         rows.append(
             {
                 "part": "gadget-upper",
@@ -191,6 +190,7 @@ def experiment_e2_wakeup_lower(
                 "value": row.oracle_bits,
                 "reference": f"messages={row.messages}=N-1",
                 "ok": row.success and row.messages == row.gadget_nodes - 1,
+                "N": row.gadget_nodes,
             }
         )
         zero = zero_advice_cost(n, seed=n, cache=cache)
@@ -339,13 +339,9 @@ def experiment_e4_broadcast_upper(
         for r in rows
     )
     findings.append(f"all runs: success, messages <= 2(n-1), oracle <= 8n: {ok}")
-    per_family = {}
-    for r in rows:
-        per_family.setdefault(r["family"], []).append(r)
-    for family, frows in per_family.items():
-        if len(frows) >= 3:
-            fits = classify_growth([r["n"] for r in frows], [r["oracle_bits"] for r in frows])
-            findings.append(f"{family}: oracle size best fit {fits[0]}")
+    for series in growth_finding_series(rows, "oracle_bits", experiment="E4"):
+        fits = classify_growth(series.xs, series.ys)
+        findings.append(f"{series.group}: oracle size best fit {fits[0]}")
     return ExperimentResult("E4", "Theorem 3.1 — broadcast with an O(n)-bit oracle", rows, findings)
 
 
@@ -483,9 +479,10 @@ def experiment_e6_separation(
         }
         for p in points
     ]
-    ns = [p.n for p in points]
-    wake_fit = classify_growth(ns, [p.wakeup_oracle_bits for p in points])
-    bcast_fit = classify_growth(ns, [p.broadcast_oracle_bits for p in points])
+    series = measured_series(rows, experiment="E6")
+    ns = list(series["wakeup_bits"].xs)
+    wake_fit = classify_growth(series["wakeup_bits"].xs, series["wakeup_bits"].ys)
+    bcast_fit = classify_growth(series["broadcast_bits"].xs, series["broadcast_bits"].ys)
     findings = [
         f"wakeup advice best fit: {wake_fit[0]} (runner-up {wake_fit[1]})",
         f"broadcast advice best fit: {bcast_fit[0]} (runner-up {bcast_fit[1]})",
@@ -678,6 +675,7 @@ def experiment_e15_mega_separation(
                     "value": row.oracle_bits,
                     "reference": f"messages={row.messages}=N-1, rounds={row.rounds}",
                     "ok": row.success and row.messages == row.gadget_nodes - 1,
+                    "N": row.gadget_nodes,
                 }
             )
         nodes.append(batch[0].gadget_nodes)
@@ -691,6 +689,7 @@ def experiment_e15_mega_separation(
                 "value": batch[0].flooding_messages,
                 "reference": f"2m - N + 1; m={batch[0].gadget_edges}",
                 "ok": True,
+                "N": batch[0].gadget_nodes,
             }
         )
     if len(n_values) >= 2:

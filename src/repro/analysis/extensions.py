@@ -45,6 +45,7 @@ from ..oracles.gossip_tree import GossipTreeOracle
 from ..oracles.tradeoff import DepthLimitedTreeOracle, bfs_depths
 from .result import ExperimentResult
 from .fits import classify_growth
+from .series import growth_finding_series
 
 __all__ = [
     "experiment_e9_tradeoff",
@@ -140,13 +141,9 @@ def experiment_e10_gossip(
     findings.append(
         f"all runs complete: {all(r['tree_ok'] and r['flood_ok'] for r in rows)}"
     )
-    for family in families:
-        frows = [r for r in rows if r["family"] == family]
-        if len(frows) >= 3:
-            fits = classify_growth(
-                [r["n"] for r in frows], [r["tree_bits"] for r in frows]
-            )
-            findings.append(f"{family}: gossip advice best fit {fits[0]}")
+    for series in growth_finding_series(rows, "tree_bits", experiment="E10"):
+        fits = classify_growth(series.xs, series.ys)
+        findings.append(f"{series.group}: gossip advice best fit {fits[0]}")
     dense = [r for r in rows if r["family"] == "complete"]
     if dense:
         worst = max(dense, key=lambda r: r["flood_msgs"] / r["tree_msgs"])

@@ -5,6 +5,24 @@ measured oracle sizes against the two candidate shapes and reports which one
 explains the data.  Fits are least-squares through the origin (both models
 are pure rates); quality is relative RMS residual, and
 :func:`classify_growth` simply picks the model with the smaller one.
+
+Every fit also carries ``r_squared`` — the classical coefficient of
+determination against the mean of the data — because the pre-registered
+verdict criteria (:mod:`repro.verdict.criteria`) gate on *absolute* fit
+quality, not just on which candidate wins: a winner with a terrible R²
+means the series matches neither shape and the verdict must come back
+INCONCLUSIVE rather than CONFIRMED.
+
+Edge cases are pinned down (and regression-tested in ``tests/test_fits.py``)
+because verdicts depend on them:
+
+* a two-point series fits (the minimum the least-squares needs);
+* an all-zero series fits with constant 0 and residual 0;
+* a constant nonzero series has a well-defined R² (``1.0`` only for an
+  exact fit — the usual ``1 - SS_res/SS_tot`` is undefined at zero total
+  variance, so it degrades to an indicator there);
+* exactly tied models keep their input order (``sorted`` is stable), so
+  callers control the tie-break by ordering ``models``.
 """
 
 from __future__ import annotations
@@ -34,6 +52,7 @@ class GrowthFit:
     model: str
     constant: float
     rel_rms_residual: float
+    r_squared: float = float("nan")
 
     def __str__(self) -> str:
         return f"{self.constant:.3f} * {self.model} (rel.err {self.rel_rms_residual:.3f})"
@@ -51,8 +70,18 @@ def fit_rate(ns: Sequence[float], ys: Sequence[float], model: str) -> GrowthFit:
     constant = float(x @ y / (x @ x))
     pred = constant * x
     scale = float(np.sqrt(np.mean(y**2))) or 1.0
-    residual = float(np.sqrt(np.mean((y - pred) ** 2))) / scale
-    return GrowthFit(model=model, constant=constant, rel_rms_residual=residual)
+    ss_res = float(np.sum((y - pred) ** 2))
+    residual = math.sqrt(ss_res / len(y)) / scale
+    # R^2 against the mean.  A constant series has zero total variance, so
+    # the quotient is undefined; there, only an exact fit deserves 1.0.
+    ss_tot = float(np.sum((y - np.mean(y)) ** 2))
+    if ss_tot > 0.0:
+        r_squared = 1.0 - ss_res / ss_tot
+    else:
+        r_squared = 1.0 if ss_res == 0.0 else 0.0
+    return GrowthFit(
+        model=model, constant=constant, rel_rms_residual=residual, r_squared=r_squared
+    )
 
 
 def classify_growth(
@@ -61,7 +90,9 @@ def classify_growth(
     """Fit every candidate model; results sorted best-first.
 
     The winner is ``result[0]``; the gap to ``result[1]`` indicates how
-    decisive the classification is.
+    decisive the classification is.  Exactly tied residuals keep the input
+    order of ``models`` (the sort is stable), so callers pick the tie-break
+    by listing their null hypothesis first.
     """
     fits = [fit_rate(ns, ys, m) for m in models]
     return sorted(fits, key=lambda f: f.rel_rms_residual)

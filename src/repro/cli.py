@@ -64,6 +64,18 @@ Commands
     and flamegraph exports.
 ``bench-export raw.json [--out BENCH_obs.json]``
     Convert pytest-benchmark JSON output into the committed perf record.
+``verdict [EXP ...] [--results DIR] [--json] [--log [PATH]]``
+    Evaluate the pre-registered success criteria (see
+    :mod:`repro.verdict` and ``docs/VERDICT.md``): each experiment's
+    frozen spec renders CONFIRMED / REFUTED / INCONCLUSIVE with
+    measured-vs-predicted numbers, from a live minimum-viable grid
+    (``--profile full`` for the weekly-cron sizes) or a saved
+    ``--run-dir`` directory's ``results.json``.  ``--json``/``--json-out``
+    emit the canonical ``repro-verdict/1`` report, ``--md-out`` the
+    markdown table, ``--log`` prepends one-line entries to
+    ``RESEARCH_LOG.md`` (idempotent), and ``--trace`` saves
+    ``verdict_rendered`` events for ``repro stats``.  Exit 1 on any
+    REFUTED; INCONCLUSIVE warns on stderr.
 ``serve [--port P] [--uds PATH] [--workers N] [--cache] [--access-log F]``
     The long-running advice-serving daemon (see :mod:`repro.service` and
     ``docs/SERVICE.md``): advice-construction and simulation jobs over
@@ -624,6 +636,115 @@ def _cmd_bench_export(in_path: str, out_path: str) -> int:
     return 0
 
 
+def _cmd_verdict(
+    ids: List[str],
+    results_dir: Optional[str],
+    profile: str,
+    as_json: bool,
+    json_out: Optional[str],
+    md_out: Optional[str],
+    log_path: Optional[str],
+    trace_out: Optional[str],
+) -> int:
+    """Render the pre-registered criteria: CONFIRMED / REFUTED / INCONCLUSIVE.
+
+    Exit code 1 on any REFUTED verdict; INCONCLUSIVE verdicts warn on
+    stderr but do not fail (absence of data is not refutation).
+    """
+    import json as json_module
+
+    from .verdict import (
+        CRITERIA,
+        INCONCLUSIVE,
+        PROFILES,
+        REFUTED,
+        append_research_log,
+        evaluate_results,
+        render_markdown_table,
+        report_to_json,
+    )
+
+    if profile not in PROFILES:
+        print(
+            f"error: unknown profile {profile!r}; have {sorted(PROFILES)}",
+            file=sys.stderr,
+        )
+        return 2
+    wanted = [eid.upper() for eid in ids] if ids else list(CRITERIA)
+    unknown = [eid for eid in wanted if eid not in CRITERIA]
+    if unknown:
+        print(
+            f"error: no pre-registered criteria for {unknown}; have {sorted(CRITERIA)}",
+            file=sys.stderr,
+        )
+        return 2
+
+    if results_dir is not None:
+        from .runner import load_results
+
+        try:
+            loaded = load_results(results_dir)
+        except (OSError, ValueError, json_module.JSONDecodeError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        results = {eid.upper(): result for eid, result in loaded.items()}
+        source = "replay"
+    else:
+        overrides = PROFILES[profile]
+        results = {}
+        for eid in wanted:
+            results[eid] = run_experiment(eid, **dict(overrides.get(eid, {})))
+        source = "live"
+
+    report = evaluate_results(results, experiments=wanted, profile=profile, source=source)
+
+    if trace_out is not None:
+        from .obs import JSONLSink, Observation, VerdictRendered
+
+        with Observation(JSONLSink(trace_out)) as obs:
+            for v in report.verdicts:
+                statuses = [c.status for c in v.checks]
+                obs.emit(
+                    VerdictRendered(
+                        experiment=v.experiment,
+                        status=v.status,
+                        confirmed=statuses.count("CONFIRMED"),
+                        refuted=statuses.count(REFUTED),
+                        inconclusive=statuses.count(INCONCLUSIVE),
+                    )
+                )
+
+    rendered_json = report_to_json(report)
+    rendered_md = render_markdown_table(report)
+    if json_out is not None:
+        with open(json_out, "w", encoding="utf-8") as handle:
+            handle.write(rendered_json)
+    if md_out is not None:
+        with open(md_out, "w", encoding="utf-8") as handle:
+            handle.write(rendered_md + "\n")
+    try:
+        if as_json:
+            sys.stdout.write(rendered_json)
+        else:
+            print(rendered_md)
+    except BrokenPipeError:
+        # Downstream pager/head closed early; not an error (cf. _cmd_stats).
+        sys.stdout = open(os.devnull, "w")
+
+    for v in report.verdicts:
+        if v.status == INCONCLUSIVE:
+            why = v.note or "; ".join(
+                c.claim for c in v.checks if c.status == INCONCLUSIVE
+            )
+            print(f"warning: {v.experiment} INCONCLUSIVE — {why}", file=sys.stderr)
+
+    if log_path is not None:
+        added = append_research_log(report, log_path)
+        print(f"research log: {added} new entr(y/ies) in {log_path}", file=sys.stderr)
+
+    return report.exit_code
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Parse arguments and dispatch; returns the process exit code."""
     parser = argparse.ArgumentParser(
@@ -886,6 +1007,47 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="write the service_* event stream as JSONL (readable by `repro stats`)",
     )
 
+    p_verdict = sub.add_parser(
+        "verdict",
+        help="evaluate the pre-registered criteria: CONFIRMED/REFUTED/"
+        "INCONCLUSIVE per experiment, exit 1 on any REFUTED",
+    )
+    p_verdict.add_argument(
+        "ids", nargs="*", metavar="ID",
+        help="experiments to judge (default: every E1-E15 criterion)",
+    )
+    p_verdict.add_argument(
+        "--results", default=None, metavar="RUN_DIR",
+        help="replay a saved run directory (results.json from `repro all "
+        "--run-dir`) instead of executing the grid",
+    )
+    p_verdict.add_argument(
+        "--profile", default="default", metavar="NAME",
+        help="grid profile when executing live: 'default' (committed-seed "
+        "minimum-viable grid) or 'full' (weekly-cron sizes)",
+    )
+    p_verdict.add_argument(
+        "--json", action="store_true",
+        help="print the canonical repro-verdict/1 JSON instead of markdown",
+    )
+    p_verdict.add_argument(
+        "--json-out", default=None, metavar="FILE",
+        help="also write the canonical JSON report to FILE",
+    )
+    p_verdict.add_argument(
+        "--md-out", default=None, metavar="FILE",
+        help="also write the rendered markdown table to FILE",
+    )
+    p_verdict.add_argument(
+        "--log", nargs="?", const="RESEARCH_LOG.md", default=None, metavar="PATH",
+        help="prepend one-line verdict entries to the research log "
+        "(default PATH: RESEARCH_LOG.md; deterministic and idempotent)",
+    )
+    p_verdict.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="write verdict_rendered events as JSONL (readable by `repro stats`)",
+    )
+
     p_sanitize = sub.add_parser(
         "sanitize",
         help="hash-randomization stress harness: byte-diff a smoke grid "
@@ -967,6 +1129,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_serve(
             args.host, args.port, args.uds, args.workers, args.max_pending,
             args.cache_dir, args.cache, args.memory_entries, args.access_log,
+        )
+    if args.command == "verdict":
+        return _cmd_verdict(
+            args.ids, args.results, args.profile, args.json,
+            args.json_out, args.md_out, args.log, args.trace,
         )
     if args.command == "sanitize":
         from .sanitize import main as sanitize_main

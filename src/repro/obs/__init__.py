@@ -65,6 +65,7 @@ from .events import (
     SpanStarted,
     SweepCellMeasured,
     SweepCellSkipped,
+    VerdictRendered,
     jsonable,
 )
 from .bench import BENCH_SCHEMA, convert_benchmark_json, emit_bench_obs
@@ -124,6 +125,7 @@ __all__ = [
     "ServiceRejected",
     "ServiceDrained",
     "ConstructionCacheStats",
+    "VerdictRendered",
     "EVENT_KINDS",
     "jsonable",
     # sinks

@@ -51,6 +51,7 @@ __all__ = [
     "ServiceRejected",
     "ServiceDrained",
     "ConstructionCacheStats",
+    "VerdictRendered",
     "EVENT_KINDS",
     "jsonable",
 ]
@@ -430,6 +431,24 @@ class ConstructionCacheStats(Event):
     entries: int
 
 
+@dataclass(frozen=True)
+class VerdictRendered(Event):
+    """One experiment's pre-registered criterion was evaluated.
+
+    Emitted by ``repro verdict`` per experiment so saved streams replay
+    verdict counts through the same reducer ``repro stats`` uses.  Carries
+    only the rendered outcome (deterministic for a given run's rows) —
+    never the measurements themselves, which live in the verdict report.
+    """
+
+    kind: ClassVar[str] = "verdict_rendered"
+    experiment: str
+    status: str
+    confirmed: int
+    refuted: int
+    inconclusive: int
+
+
 #: kind -> event class, for readers that want to rehydrate typed events.
 EVENT_KINDS: Dict[str, Type[Event]] = {
     cls.kind: cls
@@ -457,5 +476,6 @@ EVENT_KINDS: Dict[str, Type[Event]] = {
         ServiceRejected,
         ServiceDrained,
         ConstructionCacheStats,
+        VerdictRendered,
     )
 }

@@ -257,6 +257,12 @@ def apply_event(metrics: MetricsRegistry, event: Union[Event, Mapping[str, Any]]
         metrics.counter("service_drains").inc()
         metrics.gauge("service_served").set(data["served"])
         metrics.gauge("service_rejected_total").set(data["rejected"])
+    elif kind == "verdict_rendered":
+        metrics.counter("verdicts").inc()
+        metrics.counter(f"verdicts_{data['status'].lower()}").inc()
+        metrics.counter("verdict_checks_confirmed").inc(data["confirmed"])
+        metrics.counter("verdict_checks_refuted").inc(data["refuted"])
+        metrics.counter("verdict_checks_inconclusive").inc(data["inconclusive"])
     elif kind == "cache_stats":
         for field in (
             "hits", "misses", "evictions", "disk_hits", "disk_writes",

@@ -25,6 +25,7 @@ from .core import (
     WorkUnit,
     canonical_json,
     execute_units,
+    load_results,
     measurement_fingerprint,
     resilient_gadget_batches,
     resilient_run_experiments,
@@ -60,6 +61,7 @@ __all__ = [
     "cell_key",
     "execute_units",
     "load_journal",
+    "load_results",
     "measurement_fingerprint",
     "resilient_gadget_batches",
     "resilient_run_experiments",

@@ -83,6 +83,7 @@ __all__ = [
     "RUNNER_TRACE_NAME",
     "measurement_fingerprint",
     "canonical_json",
+    "load_results",
     "execute_units",
     "resilient_sweep_families",
     "resilient_gadget_batches",
@@ -746,6 +747,43 @@ def experiment_result_from_dict(data: Dict[str, Any]) -> Any:
         findings=data["findings"],
         columns=data["columns"],
     )
+
+
+def load_results(run_dir: str) -> Dict[str, Any]:
+    """Rehydrate a run directory's ``results.json`` as experiment results.
+
+    Returns the same shape :func:`resilient_run_experiments` hands back in
+    ``report.results``: requested ids mapped to
+    :class:`~repro.analysis.result.ExperimentResult`, with entries that
+    exhausted their retries synthesized into single-row ``failed`` results.
+    This is what lets ``repro verdict --results DIR`` replay a saved run
+    instead of re-executing the grid.
+    """
+    from ..analysis.result import ExperimentResult
+
+    path = os.path.join(run_dir, RESULTS_NAME)
+    if not os.path.exists(path):
+        raise FileNotFoundError(
+            f"no {RESULTS_NAME} in {run_dir!r} — was this directory written by "
+            "resilient_run_experiments (repro all --run-dir)?"
+        )
+    with open(path, "r", encoding="utf-8") as handle:
+        serialized = json.load(handle)
+    results: Dict[str, Any] = {}
+    for eid, payload in serialized.items():
+        if payload.get("failed"):
+            results[eid] = ExperimentResult(
+                experiment=payload.get("experiment", eid.upper()),
+                title="FAILED",
+                rows=[payload],
+                findings=[
+                    f"failed after {payload.get('attempts', '?')} attempt(s): "
+                    f"{payload.get('error')}: {payload.get('detail')}"
+                ],
+            )
+        else:
+            results[eid] = experiment_result_from_dict(payload)
+    return results
 
 
 def serialized_experiment_task(experiment_id: str, kwargs: Dict[str, Any]) -> Dict[str, Any]:

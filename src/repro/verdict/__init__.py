@@ -1,0 +1,73 @@
+"""Pre-registered verdict harness: E1-E15 as CONFIRMED/REFUTED gates.
+
+The registry in :mod:`repro.verdict.criteria` freezes one spec per
+experiment — the theorem it tests, the measured series it consumes, and
+tolerance-carrying predicates — *before* any evaluation happens.  The
+evaluator in :mod:`repro.verdict.evaluate` renders each criterion against
+locked experiment rows as CONFIRMED, REFUTED, or INCONCLUSIVE with the
+measured-vs-predicted numbers, and :mod:`repro.verdict.log` prepends the
+one-line outcome to the top-level RESEARCH_LOG.md.
+
+The discipline is the research-kit pattern: criteria are committed ahead
+of the data, verdicts are binary per check with no hedging, and the
+evaluator never modifies a measurement — a failing criterion is a loud
+REFUTED, not a quietly adjusted tolerance.
+"""
+
+from .criteria import (
+    CRITERIA,
+    PROFILES,
+    Check,
+    ColumnEquals,
+    ColumnsBound,
+    ColumnsEqual,
+    Criterion,
+    GrowthWinner,
+    RatioGrows,
+    RowsFalse,
+    RowsTrue,
+)
+from .evaluate import (
+    CONFIRMED,
+    INCONCLUSIVE,
+    REFUTED,
+    SCHEMA,
+    CheckResult,
+    Verdict,
+    VerdictReport,
+    evaluate_experiment,
+    evaluate_results,
+    render_markdown_table,
+    report_to_dict,
+    report_to_json,
+)
+from .log import MARKER, append_research_log, render_log_entries
+
+__all__ = [
+    "CRITERIA",
+    "PROFILES",
+    "Check",
+    "Criterion",
+    "GrowthWinner",
+    "ColumnsEqual",
+    "ColumnsBound",
+    "ColumnEquals",
+    "RowsTrue",
+    "RowsFalse",
+    "RatioGrows",
+    "CONFIRMED",
+    "REFUTED",
+    "INCONCLUSIVE",
+    "SCHEMA",
+    "CheckResult",
+    "Verdict",
+    "VerdictReport",
+    "evaluate_experiment",
+    "evaluate_results",
+    "render_markdown_table",
+    "report_to_dict",
+    "report_to_json",
+    "MARKER",
+    "append_research_log",
+    "render_log_entries",
+]

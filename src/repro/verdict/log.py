@@ -1,0 +1,74 @@
+"""The RESEARCH_LOG.md appender: one line per verdict, newest first.
+
+Entries follow the research-kit log discipline: each line records the
+hypothesis, what the data said, and the lesson — and nothing that varies
+between identical runs.  Entries carry no timestamps, no paths, no host
+names; rendering the same report twice produces the same lines, and
+:func:`append_research_log` skips lines already present in the file, so
+re-running ``repro verdict --log`` is a no-op diff.  New entries always
+land directly under the marker (newest first); the log is append-only —
+old lines are never rewritten or removed.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List
+
+from .evaluate import CONFIRMED, VerdictReport
+
+__all__ = ["MARKER", "render_log_entries", "append_research_log"]
+
+#: New entries are inserted directly below this line.
+MARKER = "<!-- verdict entries below; newest first -->"
+
+_HEADER = f"""# RESEARCH LOG
+
+Newest first.  One line per rendered verdict: the pre-registered
+hypothesis, what the locked data said, and the lesson we keep.  Written by
+`repro verdict --log`; entries are deterministic (no timestamps), so
+re-rendering an unchanged run changes nothing.  See docs/VERDICT.md.
+
+{MARKER}
+"""
+
+
+def render_log_entries(report: VerdictReport) -> List[str]:
+    """The report as deterministic one-line log entries, E1..E15 order."""
+    entries: List[str] = []
+    for v in report.verdicts:
+        if v.status == CONFIRMED:
+            result = f"{len(v.checks)}/{len(v.checks)} checks confirmed"
+        else:
+            off = [c.claim for c in v.checks if c.status != CONFIRMED]
+            detail = "; ".join(off) if off else (v.note or "no checks rendered")
+            result = f"{detail}"
+        entries.append(
+            f"- **{v.experiment} {v.status}** [{report.profile} grid] "
+            f"Hypothesis: {v.hypothesis}. Result: {result}. Lesson: {v.lesson}."
+        )
+    return entries
+
+
+def append_research_log(report: VerdictReport, path: str) -> int:
+    """Prepend the report's entries under the marker; returns lines added.
+
+    Creates the file (with its header) when absent.  Lines already present
+    anywhere in the file are skipped, so identical reruns are idempotent.
+    """
+    if os.path.exists(path):
+        with open(path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+    else:
+        text = _HEADER
+    if MARKER not in text:
+        text = text.rstrip("\n") + "\n\n" + MARKER + "\n"
+    existing = set(text.splitlines())
+    fresh = [line for line in render_log_entries(report) if line not in existing]
+    if not fresh:
+        return 0
+    head, _, tail = text.partition(MARKER)
+    body = "\n".join(fresh)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(head + MARKER + "\n" + body + tail)
+    return len(fresh)

@@ -161,3 +161,57 @@ def test_real_committed_service_baseline_parses():
     proc = _run("--explain", committed)
     assert proc.returncode == 0
     assert "[gated]" in proc.stdout
+
+
+# ----------------------------------------------------------------------
+# --json: the same tables as one repro-bench-gate/1 document
+# ----------------------------------------------------------------------
+def test_json_gate_ok(tmp_path):
+    base = tmp_path / "base.json"
+    fresh = tmp_path / "fresh.json"
+    base.write_text(json.dumps(_export({"a_fast_ns": 100.0})), encoding="utf-8")
+    fresh.write_text(json.dumps(_export({"a_fast_ns": 110.0})), encoding="utf-8")
+    proc = _run(str(base), str(fresh), "--json")
+    assert proc.returncode == 0
+    document = json.loads(proc.stdout)
+    assert document["schema"] == "repro-bench-gate/1"
+    assert document["mode"] == "gate"
+    assert document["ok"] is True
+    assert document["regressions"] == 0
+    (row,) = document["keys"]
+    assert row == {
+        "key": "a_fast_ns",
+        "gated": True,
+        "baseline": 100.0,
+        "fresh": 110.0,
+        "ratio": 1.1,
+        "verdict": "ok",
+    }
+
+
+def test_json_gate_regression_keeps_exit_one(tmp_path):
+    base = tmp_path / "base.json"
+    fresh = tmp_path / "fresh.json"
+    base.write_text(json.dumps(_export({"a_fast_ns": 100.0})), encoding="utf-8")
+    fresh.write_text(json.dumps(_export({"a_fast_ns": 300.0})), encoding="utf-8")
+    proc = _run(str(base), str(fresh), "--json")
+    assert proc.returncode == 1
+    document = json.loads(proc.stdout)  # stdout stays pure JSON
+    assert document["ok"] is False
+    assert document["regressions"] == 1
+    assert document["keys"][0]["verdict"] == "REGRESSION"
+    assert "FAIL" in proc.stderr  # the human summary moves to stderr
+
+
+def test_json_explain_mode(tmp_path):
+    bench = tmp_path / "bench.json"
+    numbers = {"warm_p99_us": 1000.0, "cold_p99_us": 9000.0}
+    bench.write_text(json.dumps(_service_export(numbers)), encoding="utf-8")
+    proc = _run("--explain", str(bench), "--json")
+    assert proc.returncode == 0
+    document = json.loads(proc.stdout)
+    assert document["mode"] == "explain"
+    (entry,) = document["files"]
+    keys = {k["key"]: k for k in entry["keys"]}
+    assert keys["warm_p99_us"]["gated"] is True
+    assert keys["cold_p99_us"]["gated"] is False

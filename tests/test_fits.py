@@ -1,0 +1,93 @@
+"""Edge-case pins for the growth-fitting layer the verdicts gate on.
+
+The pre-registered criteria (tests/test_verdict.py) turn ``classify_growth``
+winners into CONFIRMED/REFUTED, so the corner behaviours documented in
+``repro.analysis.fits`` — two-point series, constant series, exact ties,
+the zero-variance R² indicator — are locked down here.
+"""
+
+import math
+
+import pytest
+
+from repro.analysis import classify_growth, fit_rate
+
+
+class TestTwoPointSeries:
+    def test_two_points_fit(self):
+        # The least-squares minimum: exactly two points must fit cleanly.
+        fit = fit_rate([8, 16], [24, 48], "n")
+        assert fit.constant == pytest.approx(3.0)
+        assert fit.rel_rms_residual == pytest.approx(0.0, abs=1e-12)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_two_points_classify(self):
+        ns = [16, 256]
+        ys = [2 * n * math.log2(n) for n in ns]
+        assert classify_growth(ns, ys)[0].model == "n log n"
+
+    def test_one_point_still_rejected(self):
+        with pytest.raises(ValueError):
+            fit_rate([8], [8], "n")
+
+
+class TestConstantSeries:
+    def test_all_zero_series(self):
+        # c = 0 fits exactly: residual 0, and the zero-variance R²
+        # indicator awards 1.0 to the exact fit.
+        fit = fit_rate([2, 4, 8], [0, 0, 0], "n")
+        assert fit.constant == pytest.approx(0.0)
+        assert fit.rel_rms_residual == pytest.approx(0.0, abs=1e-12)
+        assert fit.r_squared == 1.0
+
+    def test_constant_nonzero_series(self):
+        # ys never vary but no rate model is constant, so the fit is
+        # inexact; zero total variance makes 1 - SS_res/SS_tot undefined
+        # and the indicator degrades R² to 0.0 instead of crashing.
+        fit = fit_rate([2, 4, 8], [7, 7, 7], "n")
+        assert fit.rel_rms_residual > 0.0
+        assert fit.r_squared == 0.0
+        assert math.isfinite(fit.constant)
+
+    def test_constant_series_never_wins_quality_floor(self):
+        # The verdict quality floor (R² >= 0.99) rejects every model on a
+        # flat series — this is what keeps a degenerate grid INCONCLUSIVE.
+        fits = classify_growth([2, 4, 8, 16], [7, 7, 7, 7])
+        assert all(f.r_squared < 0.99 for f in fits)
+
+
+class TestTies:
+    def test_exact_tie_keeps_input_order(self):
+        # All-zero data fits every model with residual exactly 0; the
+        # stable sort must preserve the caller's model order (the null
+        # hypothesis listed first wins the tie).
+        ns, ys = [2, 4, 8], [0, 0, 0]
+        assert classify_growth(ns, ys, models=("n", "n^2"))[0].model == "n"
+        assert classify_growth(ns, ys, models=("n^2", "n"))[0].model == "n^2"
+
+    def test_winner_order_is_residual_order(self):
+        ns = [16, 64, 256, 1024]
+        ys = [3 * n for n in ns]
+        fits = classify_growth(ns, ys, models=("n log n", "n"))
+        assert [f.model for f in fits] == ["n", "n log n"]
+        assert fits[0].rel_rms_residual <= fits[1].rel_rms_residual
+
+
+class TestRSquared:
+    def test_exact_fit_is_one(self):
+        ns = [16, 64, 256]
+        ys = [5 * n * math.log2(n) for n in ns]
+        assert fit_rate(ns, ys, "n log n").r_squared == pytest.approx(1.0)
+
+    def test_wrong_shape_scores_lower(self):
+        ns = [4, 8, 16, 32, 64]
+        ys = [n * n for n in ns]
+        right = fit_rate(ns, ys, "n^2")
+        wrong = fit_rate(ns, ys, "n")
+        assert right.r_squared == pytest.approx(1.0)
+        assert wrong.r_squared < right.r_squared
+
+    def test_str_unchanged_by_r_squared(self):
+        # The findings strings printed by the drivers must not drift.
+        fit = fit_rate([1, 2, 4], [2, 4, 8], "n")
+        assert str(fit) == "2.000 * n (rel.err 0.000)"
